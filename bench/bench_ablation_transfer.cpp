@@ -1,0 +1,83 @@
+// Ablation A1 — why the paper built a custom DMA engine on the ACP.
+//
+// "The general purpose 32-bit ports do not obtain the require performance and
+// every transfer requires around 25 clock cycles with the CPU moving the data
+// itself. For this reason we created a custom DMA engine using the synthesis
+// support of memcpy by VIVADO_HLS."
+//
+// Compares modeled transfer time of typical wavelet lines over (a) the
+// CPU-driven GP port and (b) the HLS memcpy DMA on the ACP.
+#include "bench/bench_util.h"
+#include "src/hw/axi.h"
+#include "src/hw/clock.h"
+
+int main() {
+  using namespace vf;
+  using namespace vf::bench;
+
+  print_header("Ablation A1 — GP-port CPU transfers vs ACP DMA bursts",
+               "§V: GP ports need ~25 CPU cycles per 32-bit word");
+
+  const hw::GpPortModel gp;
+  const hw::AcpDmaModel acp;
+  const hw::ClockDomain ps = hw::ps_clock();
+  const hw::ClockDomain pl = hw::pl_clock();
+
+  TextTable table({"payload", "words", "GP port (us)", "ACP DMA (us)", "speedup"});
+  struct Case {
+    const char* label;
+    int words;
+  };
+  const Case cases[] = {
+      {"level-3 line (22 px)", 2 * 11 + 14},
+      {"level-2 line (44 px)", 2 * 22 + 14},
+      {"level-1 line (88 px)", 2 * 44 + 14},
+      {"max line (2048 px)", 2 * 1024 + 14},
+      {"whole 88x72 frame", 88 * 72},
+  };
+  for (const Case& c : cases) {
+    const double gp_us = ps.cycles(gp.cycles_for_words(c.words)).us();
+    const double acp_us = pl.cycles(acp.cycles_for_words(c.words)).us();
+    table.add_row({c.label, std::to_string(c.words), TextTable::num(gp_us, 2),
+                   TextTable::num(acp_us, 2), TextTable::num(gp_us / acp_us, 1) + "x"});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("the ACP DMA moves line payloads an order of magnitude faster even\n"
+              "though the PL runs at 100 MHz vs the PS's 533 MHz — and it frees the\n"
+              "CPU during the transfer, which the GP path cannot.\n\n");
+
+  // End-to-end: run the full FPGA configuration with each transfer design
+  // and each completion mechanism (10 frames per point).
+  std::printf("end-to-end FPGA fusion time per design (10 frames, seconds):\n");
+  TextTable e2e({"frame size", "ACP+poll (paper)", "ACP+interrupt", "GP-port+poll",
+                 "GP penalty"});
+  for (const sched::FrameSize& size : sched::paper_frame_sizes()) {
+    driver::DriverCosts paper_costs;  // ACP + polling
+
+    driver::DriverCosts irq_costs;
+    irq_costs.completion = driver::CompletionMode::kInterrupt;
+
+    driver::DriverCosts gp_costs;
+    gp_costs.transfer = driver::TransferMode::kGpPort;
+    hw::WaveletEngineConfig gp_engine;
+    gp_engine.dma_enabled = false;  // no DMA block in the GP design
+
+    sched::FpgaBackend acp_poll({}, paper_costs);
+    sched::FpgaBackend acp_irq({}, irq_costs);
+    sched::FpgaBackend gp_poll(gp_engine, gp_costs);
+    const auto r_paper = probe_backend(acp_poll, size, kPaperFrameCount);
+    const auto r_irq = probe_backend(acp_irq, size, kPaperFrameCount);
+    const auto r_gp = probe_backend(gp_poll, size, kPaperFrameCount);
+    e2e.add_row({size.label(), TextTable::num(r_paper.total.sec(), 3),
+                 TextTable::num(r_irq.total.sec(), 3),
+                 TextTable::num(r_gp.total.sec(), 3),
+                 TextTable::num(100.0 * (r_gp.total.sec() / r_paper.total.sec() - 1.0), 1) +
+                     "%"});
+  }
+  std::printf("%s\n", e2e.to_string().c_str());
+  std::printf("with lines this short, a blocking syscall + IRQ latency per line costs\n"
+              "more than a few status-register polls — fine-grained offload favors\n"
+              "polling, which is what the paper's driver does. The GP-port design\n"
+              "loses across the board; that is why the paper built the DMA engine.\n");
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Fig. 9(a) — "Performance Comparison of Forward DT-CWT".
+//
+// Forward transform time for 10 continuously fused frames at each of the
+// paper's five frame sizes, on ARM / NEON / FPGA. Reference points from the
+// paper at 88x72: FPGA -55.6%, NEON -10% vs ARM; FPGA 36.4% slower than NEON
+// at 32x24; crossover between 35x35 and 40x40.
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace vf;
+  using namespace vf::bench;
+
+  print_header("Fig. 9(a) — forward DT-CWT time vs frame size (10 frames, seconds)",
+               "Fig. 9(a); §VII text: -55.6% FPGA / -10% NEON at 88x72");
+
+  TextTable table({"frame size", "ARM fwd (s)", "NEON fwd (s)", "FPGA fwd (s)",
+                   "FPGA vs ARM", "best"});
+  for (const sched::FrameSize& size : sched::paper_frame_sizes()) {
+    const auto arm = run_probe(EngineChoice::kArm, size);
+    const auto neon = run_probe(EngineChoice::kNeon, size);
+    const auto fpga = run_probe(EngineChoice::kFpga, size);
+    const double vs_arm = 100.0 * (1.0 - fpga.forward.sec() / arm.forward.sec());
+    const char* best = fpga.forward < neon.forward ? "FPGA" : "NEON";
+    table.add_row({size.label(), TextTable::num(arm.forward.sec(), 3),
+                   TextTable::num(neon.forward.sec(), 3),
+                   TextTable::num(fpga.forward.sec(), 3),
+                   TextTable::num(vs_arm, 1) + "%", best});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("shape check: NEON wins below the break point, FPGA above it\n"
+              "(paper: break between 35x35 and 40x40).\n");
+  return 0;
+}

