@@ -25,6 +25,9 @@ int main() {
 
   TextTable table({"frame size", "ARM Only (mJ)", "ARM+NEON (mJ)", "ARM+FPGA (mJ)",
                    "Adaptive (mJ)", "best static"});
+  // The sweep ends at 88x72; keep those probes for the summary below instead
+  // of re-running them (probes are deterministic).
+  sched::ProbeResult arm88, neon88, fpga88;
   for (const sched::FrameSize& size : sched::paper_frame_sizes()) {
     const auto arm = run_probe(EngineChoice::kArm, size);
     const auto neon = run_probe(EngineChoice::kNeon, size);
@@ -34,12 +37,13 @@ int main() {
     table.add_row({size.label(), TextTable::num(arm.energy_mj, 1),
                    TextTable::num(neon.energy_mj, 1), TextTable::num(fpga.energy_mj, 1),
                    TextTable::num(adaptive.energy_mj, 1), best});
+    if (size.width == 88) {
+      arm88 = arm;
+      neon88 = neon;
+      fpga88 = fpga;
+    }
   }
   std::printf("%s\n", table.to_string().c_str());
-
-  const auto arm88 = run_probe(EngineChoice::kArm, {88, 72});
-  const auto neon88 = run_probe(EngineChoice::kNeon, {88, 72});
-  const auto fpga88 = run_probe(EngineChoice::kFpga, {88, 72});
   std::printf("at 88x72: ARM+FPGA saves %.1f%% (paper 46.3%%), ARM+NEON saves %.1f%%\n"
               "(paper 8%%; see EXPERIMENTS.md on the paper's NEON deltas).\n",
               100.0 * (1.0 - fpga88.energy_mj / arm88.energy_mj),

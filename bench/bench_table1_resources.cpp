@@ -39,6 +39,6 @@ int main() {
   print_config("this library's default (fits 14-tap q-shift)", default_config);
 
   std::printf("the paper configuration reproduces Table I exactly (resource model\n"
-              "calibrated against it; tests/hw/test_resources.cpp locks the values).\n");
+              "calibrated against it; tests/test_resources.cpp locks the values).\n");
   return 0;
 }

@@ -6,6 +6,8 @@
 // host wall-clock — see DESIGN.md §2).
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <functional>
 #include <string>
@@ -68,7 +70,7 @@ inline sched::ProbeResult run_probe(EngineChoice choice, const sched::FrameSize&
                                     int frames = kPaperFrameCount) {
   sched::ProbeResult result;
   with_backend(choice, [&](sched::TransformBackend& backend) {
-    result = probe_backend(backend, size, frames);
+    result = sched::probe_backend(backend, size, frames);
   });
   return result;
 }

@@ -1,0 +1,80 @@
+// Aligned text tables for the paper-style bench output.
+//
+// Left-aligns the first column, right-aligns numeric columns, and pads with
+// spaces so the printed rows line up like the tables in the paper.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace vf {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    cells.resize(header_.size());
+    rows_.push_back(std::move(cells));
+  }
+
+  // Fixed-decimal number formatting used by every bench column.
+  static std::string num(double value, int decimals) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+    return buf;
+  }
+
+  std::string to_string() const {
+    const std::size_t cols = header_.size();
+    std::vector<std::size_t> width(cols, 0);
+    auto widen = [&](const std::vector<std::string>& row) {
+      for (std::size_t c = 0; c < cols && c < row.size(); ++c) {
+        if (row[c].size() > width[c]) width[c] = row[c].size();
+      }
+    };
+    widen(header_);
+    for (const auto& row : rows_) widen(row);
+
+    std::string out;
+    append_row(out, header_, width);
+    // Separator under the header.
+    std::string sep;
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c) sep += "-+-";
+      sep.append(width[c], '-');
+    }
+    out += sep;
+    out += '\n';
+    for (const auto& row : rows_) append_row(out, row, width);
+    return out;
+  }
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  static void append_row(std::string& out, const std::vector<std::string>& row,
+                         const std::vector<std::size_t>& width) {
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      if (c) out += " | ";
+      const std::string& cell = c < row.size() ? row[c] : kEmpty;
+      const std::size_t pad = width[c] - cell.size();
+      if (c == 0) {  // left-align the label column
+        out += cell;
+        out.append(pad, ' ');
+      } else {  // right-align data columns
+        out.append(pad, ' ');
+        out += cell;
+      }
+    }
+    out += '\n';
+  }
+
+  inline static const std::string kEmpty;
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace vf

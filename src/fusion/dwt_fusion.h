@@ -1,0 +1,164 @@
+// Multi-level DT-CWT analysis/synthesis built on the decimating
+// dual-correlation kernels.
+//
+// Layering: this file depends only on src/common and src/simd (plus ImageF).
+// Filter banks are stored pre-baked in the exact array form the kernels (and
+// the modeled FPGA wavelet engine) consume:
+//
+//   analysis:  lo[i] = sum_t lp[t] * ext[2i + t]   with ext[k] = x[(k-E) mod N]
+//   synthesis: y[2m]   = sum_t ca[t] * extu[2m + t]
+//              y[2m+1] = sum_t cb[t] * extu[2m + t]
+//   where extu is the periodically extended interleaved lo/hi stream.
+//
+// Banks are constructed from a biorthogonal prototype (h0, g0) via the
+// quadrature pairing H1(z) = z^-k G0(-z), G1(z) = z^k H0(-z) with odd k,
+// which cancels aliasing exactly, so a single analysis+synthesis level is a
+// zero-delay identity on periodic signals (tests/test_dwt.cpp locks < 1e-4
+// over random frames). The dual tree doubles this per dimension: tree B is
+// the one-sample-delayed bank at level 1 and the reversed q-shift filter at
+// levels >= 2 (Kingsbury's construction).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/image/metrics.h"
+
+namespace vf::dwt {
+
+enum class Wavelet {
+  kLeGall53,   // 5/3 biorthogonal — level-1 default, fits a 5-slot engine
+  kCdf97,      // 9/7 biorthogonal — higher-quality level-1 alternative
+  kQshift14A,  // Kingsbury q-shift 14-tap, tree A (levels >= 2)
+  kQshift14B,  // time-reverse of A, tree B
+};
+
+const char* wavelet_name(Wavelet w);
+
+struct FilterBank {
+  Wavelet wavelet = Wavelet::kLeGall53;
+  // Analysis pair, padded to one shared window of `taps()` samples.
+  std::vector<float> lp, hp;
+  int analysis_offset = 0;  // E in ext[k] = x[(k - E) mod N]
+  // Synthesis pair over the interleaved stream.
+  std::vector<float> ca, cb;
+  int synthesis_offset = 0;  // S in extu[k] = u[(k - S) mod N]
+
+  int taps() const { return static_cast<int>(lp.size()); }
+  int synth_taps() const { return static_cast<int>(ca.size()); }
+};
+
+// `delay` shifts the analysis filters by +delay samples (and the synthesis
+// filters by -delay) — used to build the level-1 tree-B bank.
+FilterBank make_filter_bank(Wavelet w, int delay = 0);
+
+// Coefficient-register depth the modeled FPGA engine needs to run this bank
+// (= the analysis window width; see bench_ablation_taps).
+int required_slots(const FilterBank& bank);
+
+// --- execution backends -----------------------------------------------------
+
+struct FilterStats {
+  long long analysis_macs = 0;
+  long long synthesis_macs = 0;
+  long long analysis_lines = 0;
+  long long synthesis_lines = 0;
+  long long total_macs() const { return analysis_macs + synthesis_macs; }
+};
+
+// A LineFilter executes one line-sized kernel request at a time — the same
+// granularity at which the paper's driver feeds the PL engine. Subclasses
+// pick the implementation (scalar / 4-lane SIMD / fixed-point datapath /
+// time-accounted engine models in src/sched).
+class LineFilter {
+ public:
+  virtual ~LineFilter() = default;
+
+  virtual void analyze(const float* ext, int out_len, const float* lp, const float* hp,
+                       int taps, float* lo, float* hi) = 0;
+  virtual void synthesize(const float* ext, int pairs, const float* ca, const float* cb,
+                          int taps, float* out) = 0;
+  // Fusion-rule kernels; scalar by default, backends may re-route/account.
+  virtual void magnitude(const float* re, const float* im, int n, float* mag);
+  virtual void select(const float* a_re, const float* a_im, const float* b_re,
+                      const float* b_im, const float* mag_a, const float* mag_b, int n,
+                      float* out_re, float* out_im);
+};
+
+class ScalarLineFilter : public LineFilter {
+ public:
+  void analyze(const float* ext, int out_len, const float* lp, const float* hp, int taps,
+               float* lo, float* hi) override;
+  void synthesize(const float* ext, int pairs, const float* ca, const float* cb,
+                  int taps, float* out) override;
+
+  void reset_stats() { stats_ = {}; }
+  const FilterStats& stats() const { return stats_; }
+
+ private:
+  FilterStats stats_;
+};
+
+class SimdLineFilter : public LineFilter {
+ public:
+  void analyze(const float* ext, int out_len, const float* lp, const float* hp, int taps,
+               float* lo, float* hi) override;
+  void synthesize(const float* ext, int pairs, const float* ca, const float* cb,
+                  int taps, float* out) override;
+
+  void reset_stats() { stats_ = {}; }
+  const FilterStats& stats() const { return stats_; }
+
+ private:
+  FilterStats stats_;
+};
+
+// --- 1-D line transforms ----------------------------------------------------
+
+// x has n samples (n even); lo/hi receive n/2 each. `scratch` avoids
+// reallocating the extension buffer across the thousands of line calls.
+void analyze_line(LineFilter& f, const FilterBank& bank, const float* x, int n,
+                  float* lo, float* hi, std::vector<float>& scratch);
+void synthesize_line(LineFilter& f, const FilterBank& bank, const float* lo,
+                     const float* hi, int n, float* y, std::vector<float>& scratch);
+
+// --- 2-D multi-level transform ----------------------------------------------
+
+struct TransformConfig {
+  int levels = 3;
+  Wavelet level1 = Wavelet::kLeGall53;
+  Wavelet higher = Wavelet::kQshift14A;  // tree A; tree B is its reverse
+};
+
+struct LevelBands {
+  image::ImageF lh, hl, hh;  // row-lo/col-hi, row-hi/col-lo, row-hi/col-hi
+  int in_rows = 0, in_cols = 0;  // pre-padding input dims (crop on inverse)
+};
+
+// One critically sampled wavelet decomposition (one tree of the dual tree,
+// or the whole transform for the plain-DWT baseline).
+struct TreePyramid {
+  std::vector<LevelBands> levels;
+  image::ImageF ll;
+};
+
+// `row_tree`/`col_tree`: 0 = tree A, 1 = tree B (one-sample level-1 delay +
+// reversed q-shift filters at levels >= 2) applied along that dimension.
+TreePyramid forward_tree(const image::ImageF& img, const TransformConfig& config,
+                         int row_tree, int col_tree, LineFilter& filter);
+image::ImageF inverse_tree(const TreePyramid& pyr, const TransformConfig& config,
+                           int row_tree, int col_tree, LineFilter& filter);
+
+// The full 4x-redundant 2-D DT-CWT: trees indexed by (row_tree, col_tree) in
+// {A,B}^2, i.e. tree[0]=AA, tree[1]=AB, tree[2]=BA, tree[3]=BB.
+struct DtcwtPyramid {
+  TreePyramid tree[4];
+};
+
+DtcwtPyramid forward_dtcwt(const image::ImageF& img, const TransformConfig& config,
+                           LineFilter& filter);
+// Averages the four trees' reconstructions.
+image::ImageF inverse_dtcwt(const DtcwtPyramid& pyr, const TransformConfig& config,
+                            LineFilter& filter);
+
+}  // namespace vf::dwt

@@ -1,0 +1,125 @@
+#include "src/fusion/laplacian.h"
+
+#include <cmath>
+#include <vector>
+
+namespace vf::fusion {
+
+namespace {
+
+using image::ImageF;
+
+// 5-tap binomial kernel [1 4 6 4 1]/16 with clamped borders.
+const float kKernel[5] = {1.0f / 16, 4.0f / 16, 6.0f / 16, 4.0f / 16, 1.0f / 16};
+
+ImageF blur(const ImageF& img) {
+  const int rows = img.rows();
+  const int cols = img.cols();
+  ImageF tmp(rows, cols);
+  auto clampi = [](int v, int hi) { return v < 0 ? 0 : (v > hi ? hi : v); };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      float acc = 0.0f;
+      for (int t = -2; t <= 2; ++t) {
+        acc += kKernel[t + 2] * img(r, clampi(c + t, cols - 1));
+      }
+      tmp(r, c) = acc;
+    }
+  }
+  ImageF out(rows, cols);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      float acc = 0.0f;
+      for (int t = -2; t <= 2; ++t) {
+        acc += kKernel[t + 2] * tmp(clampi(r + t, rows - 1), c);
+      }
+      out(r, c) = acc;
+    }
+  }
+  return out;
+}
+
+ImageF pyr_down(const ImageF& img) {
+  const ImageF smooth = blur(img);
+  ImageF out((img.rows() + 1) / 2, (img.cols() + 1) / 2);
+  for (int r = 0; r < out.rows(); ++r) {
+    for (int c = 0; c < out.cols(); ++c) {
+      out(r, c) = smooth(2 * r, 2 * c);
+    }
+  }
+  return out;
+}
+
+// Upsamples to exactly (rows, cols): zero-stuff, blur, scale by 4 to restore
+// the DC gain lost to the inserted zeros.
+ImageF pyr_up(const ImageF& img, int rows, int cols) {
+  ImageF stuffed(rows, cols, 0.0f);
+  for (int r = 0; r < img.rows(); ++r) {
+    for (int c = 0; c < img.cols(); ++c) {
+      if (2 * r < rows && 2 * c < cols) stuffed(2 * r, 2 * c) = img(r, c);
+    }
+  }
+  ImageF out = blur(stuffed);
+  for (std::size_t i = 0; i < out.size(); ++i) out.data()[i] *= 4.0f;
+  return out;
+}
+
+struct Pyramid {
+  std::vector<ImageF> detail;  // Laplacian levels, fine to coarse
+  ImageF base;
+};
+
+Pyramid build(const ImageF& img, int levels) {
+  Pyramid pyr;
+  ImageF current = img;
+  for (int lv = 0; lv < levels; ++lv) {
+    ImageF down = pyr_down(current);
+    ImageF up = pyr_up(down, current.rows(), current.cols());
+    ImageF detail(current.rows(), current.cols());
+    for (std::size_t i = 0; i < detail.size(); ++i) {
+      detail.data()[i] = current.data()[i] - up.data()[i];
+    }
+    pyr.detail.push_back(std::move(detail));
+    current = std::move(down);
+  }
+  pyr.base = std::move(current);
+  return pyr;
+}
+
+ImageF collapse(const Pyramid& pyr) {
+  ImageF current = pyr.base;
+  for (int lv = static_cast<int>(pyr.detail.size()) - 1; lv >= 0; --lv) {
+    const ImageF& detail = pyr.detail[lv];
+    ImageF up = pyr_up(current, detail.rows(), detail.cols());
+    for (std::size_t i = 0; i < up.size(); ++i) up.data()[i] += detail.data()[i];
+    current = std::move(up);
+  }
+  return current;
+}
+
+}  // namespace
+
+image::ImageF fuse_frames_laplacian(const image::ImageF& a, const image::ImageF& b,
+                                    const LaplacianFuseConfig& config) {
+  const Pyramid pa = build(a, config.levels);
+  const Pyramid pb = build(b, config.levels);
+  Pyramid fused;
+  for (std::size_t lv = 0; lv < pa.detail.size(); ++lv) {
+    const ImageF& da = pa.detail[lv];
+    const ImageF& db = pb.detail[lv];
+    ImageF out(da.rows(), da.cols());
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      out.data()[i] = std::fabs(da.data()[i]) >= std::fabs(db.data()[i])
+                          ? da.data()[i]
+                          : db.data()[i];
+    }
+    fused.detail.push_back(std::move(out));
+  }
+  fused.base = ImageF(pa.base.rows(), pa.base.cols());
+  for (std::size_t i = 0; i < fused.base.size(); ++i) {
+    fused.base.data()[i] = 0.5f * (pa.base.data()[i] + pb.base.data()[i]);
+  }
+  return collapse(fused);
+}
+
+}  // namespace vf::fusion

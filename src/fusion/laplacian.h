@@ -1,0 +1,18 @@
+// Laplacian-pyramid fusion baseline (Burt–Adelson) for the algorithms
+// ablation. Deliberately self-contained: it does not run through a
+// LineFilter backend, mirroring how a pyramid scheme would bypass the
+// wavelet engine entirely.
+#pragma once
+
+#include "src/image/metrics.h"
+
+namespace vf::fusion {
+
+struct LaplacianFuseConfig {
+  int levels = 3;
+};
+
+image::ImageF fuse_frames_laplacian(const image::ImageF& a, const image::ImageF& b,
+                                    const LaplacianFuseConfig& config);
+
+}  // namespace vf::fusion

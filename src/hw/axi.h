@@ -1,0 +1,35 @@
+// AXI transfer models for the two PS<->PL paths the paper compares (§V).
+//
+//   GP port:  the CPU moves every 32-bit word itself over the general-purpose
+//             port — "every transfer requires around 25 clock cycles" (PS
+//             cycles, CPU blocked for all of them).
+//   ACP DMA:  the HLS-memcpy DMA engine bursts 64-bit beats through the
+//             Accelerator Coherency Port at the PL clock, CPU free.
+#pragma once
+
+namespace vf::hw {
+
+struct GpPortModel {
+  // PS cycles per 32-bit word with the CPU issuing each beat (paper: ~25).
+  int cycles_per_word = 25;
+
+  double cycles_for_words(int words) const {
+    return static_cast<double>(words) * cycles_per_word;
+  }
+};
+
+struct AcpDmaModel {
+  int setup_cycles = 40;       // descriptor write + DMA start, in PL cycles
+  int words_per_beat = 2;      // 64-bit data path moves two 32-bit words
+  int beats_per_burst = 16;    // AXI burst length
+  int burst_overhead = 2;      // address/response cycles per burst
+
+  double cycles_for_words(int words) const {
+    const int beats = (words + words_per_beat - 1) / words_per_beat;
+    const int bursts = (beats + beats_per_burst - 1) / beats_per_burst;
+    return static_cast<double>(setup_cycles) + beats +
+           static_cast<double>(bursts) * burst_overhead;
+  }
+};
+
+}  // namespace vf::hw

@@ -1,0 +1,105 @@
+// Modeled Linux driver + DMA accelerator front-end (paper §V, Fig. 5).
+//
+// Each wavelet line is one request to the PL engine: the driver copies the
+// extended line into kernel memory, starts the engine, and either polls the
+// status register or sleeps on the completion interrupt. Double buffering
+// (Fig. 5) splits the kernel memory into two areas so the next line's input
+// copy overlaps the engine's processing of the current line.
+#pragma once
+
+#include "src/common/sim_time.h"
+#include "src/hw/axi.h"
+#include "src/hw/clock.h"
+#include "src/hw/resources.h"
+
+namespace vf::driver {
+
+enum class TransferMode { kAcpDma, kGpPort };
+enum class CompletionMode { kPolling, kInterrupt };
+
+struct DriverCosts {
+  TransferMode transfer = TransferMode::kAcpDma;
+  CompletionMode completion = CompletionMode::kPolling;
+  bool double_buffering = true;
+
+  // Per-line user->kernel entry: ioctl + copy_from_user + engine kick.
+  // Dominates for short lines; this is exactly why the paper's FPGA loses
+  // below the 35x35..40x40 break point (value calibrated against Fig. 9).
+  double call_overhead_ps_cycles = 12150;
+  // One status-register read across the GP port.
+  double poll_ps_cycles = 120;
+  double expected_polls = 3.0;
+  // Sleep + IRQ + wake path when completion = kInterrupt.
+  double irq_latency_ps_cycles = 5200;
+};
+
+// Accounts modeled time for line requests against one engine configuration.
+class WaveletAccelerator {
+ public:
+  WaveletAccelerator(const hw::WaveletEngineConfig& engine, const DriverCosts& costs)
+      : engine_(engine), costs_(costs) {}
+
+  const hw::WaveletEngineConfig& engine() const { return engine_; }
+  const DriverCosts& costs() const { return costs_; }
+
+  // PS-visible time to process one line: `words_in` extended input words,
+  // `words_out` result words, `compute_cycles` PL cycles of engine busy time.
+  SimDuration line_time(int words_in, int words_out, double compute_cycles) {
+    const hw::ClockDomain& ps = hw::ps_clock();
+    const hw::ClockDomain& pl = hw::pl_clock();
+
+    SimDuration in_time, out_time;
+    if (costs_.transfer == TransferMode::kGpPort || !engine_.dma_enabled) {
+      in_time = ps.cycles(gp_.cycles_for_words(words_in));
+      out_time = ps.cycles(gp_.cycles_for_words(words_out));
+    } else {
+      in_time = pl.cycles(acp_.cycles_for_words(words_in));
+      out_time = pl.cycles(acp_.cycles_for_words(words_out));
+    }
+    const SimDuration compute = pl.cycles(compute_cycles);
+
+    // Double buffering hides engine busy time behind the next line's input
+    // copy; without it the PS waits out the full compute phase.
+    SimDuration stall;
+    if (costs_.double_buffering) {
+      stall = compute > in_time ? compute - in_time : SimDuration::zero();
+    } else {
+      stall = compute;
+    }
+    stall_time_ += stall;
+
+    SimDuration driver = ps.cycles(costs_.call_overhead_ps_cycles);
+    if (costs_.completion == CompletionMode::kPolling) {
+      driver += ps.cycles(costs_.poll_ps_cycles * costs_.expected_polls);
+    } else {
+      driver += ps.cycles(costs_.irq_latency_ps_cycles);
+    }
+
+    const SimDuration total = driver + in_time + stall + out_time;
+    busy_time_ += total;
+    ++lines_;
+    return total;
+  }
+
+  // Accumulated PS wait-for-PL time (what double buffering removes).
+  SimDuration stall_time() const { return stall_time_; }
+  SimDuration busy_time() const { return busy_time_; }
+  long long lines() const { return lines_; }
+
+  void reset() {
+    stall_time_ = SimDuration::zero();
+    busy_time_ = SimDuration::zero();
+    lines_ = 0;
+  }
+
+ private:
+  hw::WaveletEngineConfig engine_;
+  DriverCosts costs_;
+  hw::GpPortModel gp_;
+  hw::AcpDmaModel acp_;
+  SimDuration stall_time_;
+  SimDuration busy_time_;
+  long long lines_ = 0;
+};
+
+}  // namespace vf::driver

@@ -1,0 +1,74 @@
+#include "src/hw/fixed_point.h"
+
+#include <cmath>
+#include <vector>
+
+namespace vf::hw {
+
+std::string FixedPointFormat::name() const {
+  return "Q" + std::to_string(integer_bits()) + "." + std::to_string(frac_bits);
+}
+
+double FixedPointFormat::step() const { return std::ldexp(1.0, -frac_bits); }
+
+double FixedPointFormat::max_value() const {
+  return std::ldexp(1.0, integer_bits() - 1) - step();
+}
+
+double FixedPointFormat::min_value() const {
+  return -std::ldexp(1.0, integer_bits() - 1);
+}
+
+double FixedPointFormat::quantize(double v) const {
+  const double scaled = std::nearbyint(v / step());
+  double q = scaled * step();
+  if (q > max_value()) q = max_value();
+  if (q < min_value()) q = min_value();
+  return q;
+}
+
+namespace {
+
+std::vector<double> quantize_all(const FixedPointFormat& fmt, const float* v, int n) {
+  std::vector<double> out(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) out[i] = fmt.quantize(v[i]);
+  return out;
+}
+
+}  // namespace
+
+void FixedPointLineFilter::analyze(const float* ext, int out_len, const float* lp,
+                                   const float* hp, int taps, float* lo, float* hi) {
+  const auto qx = quantize_all(fmt_, ext, 2 * out_len + taps);
+  const auto qlp = quantize_all(fmt_, lp, taps);
+  const auto qhp = quantize_all(fmt_, hp, taps);
+  for (int i = 0; i < out_len; ++i) {
+    double acc_lo = 0.0;
+    double acc_hi = 0.0;
+    for (int t = 0; t < taps; ++t) {
+      acc_lo += qlp[t] * qx[2 * i + t];
+      acc_hi += qhp[t] * qx[2 * i + t];
+    }
+    lo[i] = static_cast<float>(fmt_.quantize(acc_lo));
+    hi[i] = static_cast<float>(fmt_.quantize(acc_hi));
+  }
+}
+
+void FixedPointLineFilter::synthesize(const float* ext, int pairs, const float* ca,
+                                      const float* cb, int taps, float* out) {
+  const auto qx = quantize_all(fmt_, ext, 2 * pairs + taps);
+  const auto qca = quantize_all(fmt_, ca, taps);
+  const auto qcb = quantize_all(fmt_, cb, taps);
+  for (int k = 0; k < pairs; ++k) {
+    double acc_a = 0.0;
+    double acc_b = 0.0;
+    for (int t = 0; t < taps; ++t) {
+      acc_a += qca[t] * qx[2 * k + t];
+      acc_b += qcb[t] * qx[2 * k + t];
+    }
+    out[2 * k] = static_cast<float>(fmt_.quantize(acc_a));
+    out[2 * k + 1] = static_cast<float>(fmt_.quantize(acc_b));
+  }
+}
+
+}  // namespace vf::hw

@@ -1,0 +1,44 @@
+// Qm.n fixed-point quantization and the fixed-point engine datapath used by
+// ablation A7 (float32 vs fixed-point trade-off of the paper's HLS engine).
+#pragma once
+
+#include <string>
+
+#include "src/fusion/dwt_fusion.h"
+
+namespace vf::hw {
+
+struct FixedPointFormat {
+  int total_bits = 18;  // word width including sign
+  int frac_bits = 15;   // fractional bits (n of Qm.n)
+
+  int integer_bits() const { return total_bits - frac_bits; }
+  std::string name() const;  // e.g. "Q3.15"
+
+  // Round-to-nearest at 2^-frac_bits, saturating to the representable range.
+  double quantize(double v) const;
+  double max_value() const;
+  double min_value() const;
+  double step() const;
+};
+
+// LineFilter whose datapath mimics the fixed-point engine: coefficients and
+// line samples are quantized to the format, products accumulate in a wide
+// DSP48-style accumulator (exact), and each output is quantized on the way
+// back to memory.
+class FixedPointLineFilter : public dwt::LineFilter {
+ public:
+  explicit FixedPointLineFilter(FixedPointFormat fmt) : fmt_(fmt) {}
+
+  void analyze(const float* ext, int out_len, const float* lp, const float* hp,
+               int taps, float* lo, float* hi) override;
+  void synthesize(const float* ext, int pairs, const float* ca, const float* cb,
+                  int taps, float* out) override;
+
+  const FixedPointFormat& format() const { return fmt_; }
+
+ private:
+  FixedPointFormat fmt_;
+};
+
+}  // namespace vf::hw

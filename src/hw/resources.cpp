@@ -1,0 +1,67 @@
+#include "src/hw/resources.h"
+
+#include "src/hw/fixed_point.h"
+
+namespace vf::hw {
+
+namespace {
+
+// Per-slot / fixed costs of the float32 engine, solved against Table I at
+// 12 slots: usage = base + slots * per_slot + dma block.
+constexpr int kBaseRegisters = 9024, kPerSlotRegisters = 1024, kDmaRegisters = 2100;
+constexpr int kBaseLuts = 6545, kPerSlotLuts = 780, kDmaLuts = 1500;
+constexpr int kBaseSlices = 3110, kPerSlotSlices = 340, kDmaSlices = 700;
+constexpr int kBufg = 3;  // PS clock, PL engine clock, DMA clock
+
+int bram_for(const WaveletEngineConfig& config) {
+  // Two ping-pong line buffers of buffer_words 32-bit words each.
+  const int bytes_per_buffer = config.buffer_words * 4;
+  const int bram36_bytes = 36 * 1024 / 8;
+  const int per_buffer = (bytes_per_buffer + bram36_bytes - 1) / bram36_bytes;
+  return 2 * per_buffer;
+}
+
+}  // namespace
+
+WaveletEngineConfig paper_engine_config() {
+  WaveletEngineConfig config;
+  config.slots = 12;
+  config.buffer_words = 2048;
+  config.dma_enabled = true;
+  return config;
+}
+
+ResourceUsage estimate_engine_resources(const WaveletEngineConfig& config) {
+  ResourceUsage u;
+  u.registers = kBaseRegisters + config.slots * kPerSlotRegisters +
+                (config.dma_enabled ? kDmaRegisters : 0);
+  u.luts =
+      kBaseLuts + config.slots * kPerSlotLuts + (config.dma_enabled ? kDmaLuts : 0);
+  u.slices =
+      kBaseSlices + config.slots * kPerSlotSlices + (config.dma_enabled ? kDmaSlices : 0);
+  u.bufg = kBufg;
+  u.bram36 = bram_for(config);
+  u.dsp48 = 0;  // the HLS float datapath builds its multipliers from logic
+  return u;
+}
+
+ResourceUsage estimate_engine_resources_fixed(const WaveletEngineConfig& config,
+                                              const FixedPointFormat& fmt) {
+  ResourceUsage u;
+  const int bits = fmt.total_bits;
+  // Shift registers and pipeline state scale with word width; the heavy
+  // float add/mul logic is gone.
+  u.registers = 900 + config.slots * bits * 4 + (config.dma_enabled ? kDmaRegisters : 0);
+  u.luts = 700 + config.slots * bits * 3 + (config.dma_enabled ? kDmaLuts : 0);
+  u.slices = 200 + static_cast<int>(config.slots * bits * 2.5) +
+             (config.dma_enabled ? kDmaSlices : 0);
+  u.bufg = kBufg;
+  u.bram36 = bram_for(config);
+  // One DSP48E1 per MAC lane (two filter banks run in parallel); wide words
+  // need a second cascaded DSP per lane (the 25x18 multiplier limit).
+  const int per_lane = bits <= 25 ? 1 : 2;
+  u.dsp48 = 2 * config.slots * per_lane;
+  return u;
+}
+
+}  // namespace vf::hw

@@ -1,0 +1,151 @@
+#include "src/image/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace vf::image {
+
+namespace {
+
+constexpr int kGrayBins = 256;
+constexpr int kJointBins = 64;
+
+inline int quantize(float v, int bins) {
+  int q = static_cast<int>(v * bins);
+  return std::clamp(q, 0, bins - 1);
+}
+
+// Sobel gradient magnitude and orientation at (r, c) with clamped borders.
+void sobel(const ImageF& img, int r, int c, double* g, double* alpha) {
+  auto at = [&](int rr, int cc) {
+    rr = std::clamp(rr, 0, img.rows() - 1);
+    cc = std::clamp(cc, 0, img.cols() - 1);
+    return static_cast<double>(img(rr, cc));
+  };
+  const double gx = (at(r - 1, c + 1) + 2.0 * at(r, c + 1) + at(r + 1, c + 1)) -
+                    (at(r - 1, c - 1) + 2.0 * at(r, c - 1) + at(r + 1, c - 1));
+  const double gy = (at(r + 1, c - 1) + 2.0 * at(r + 1, c) + at(r + 1, c + 1)) -
+                    (at(r - 1, c - 1) + 2.0 * at(r - 1, c) + at(r - 1, c + 1));
+  *g = std::sqrt(gx * gx + gy * gy);
+  // Orientation modulo pi (atan, not atan2): the Petrovic model compares
+  // edge *orientation*, so a polarity-flipped edge (common in visible vs
+  // thermal imagery) must still count as preserved.
+  if (gx == 0.0) {
+    *alpha = gy == 0.0 ? 0.0 : 1.5707963267948966;
+  } else {
+    *alpha = std::atan(gy / gx);
+  }
+}
+
+// Petrovic sigmoid model constants (Xydeas & Petrovic, Electronics Letters
+// 2000): perceptual loss curves for edge strength (g) and orientation (a).
+constexpr double kGammaG = 0.9994, kKg = -15.0, kSigmaG = 0.5;
+constexpr double kGammaA = 0.9879, kKa = -22.0, kSigmaA = 0.8;
+
+double edge_preservation(double g_in, double a_in, double g_f, double a_f) {
+  double big_g;  // relative strength transfer
+  if (g_in == 0.0 && g_f == 0.0) {
+    big_g = 0.0;
+  } else if (g_in > g_f) {
+    big_g = g_f / g_in;
+  } else {
+    big_g = g_f == 0.0 ? 0.0 : g_in / g_f;
+  }
+  constexpr double kPi = 3.14159265358979323846;
+  // Orientation difference modulo pi: atan() outputs span (-pi/2, pi/2], so
+  // two near-vertical edges can differ by ~pi numerically while being nearly
+  // parallel geometrically.
+  double da = std::abs(a_in - a_f);
+  if (da > kPi / 2.0) da = kPi - da;
+  const double big_a = 1.0 - da / (kPi / 2.0);
+  const double qg = kGammaG / (1.0 + std::exp(kKg * (big_g - kSigmaG)));
+  const double qa = kGammaA / (1.0 + std::exp(kKa * (big_a - kSigmaA)));
+  return qg * qa;
+}
+
+}  // namespace
+
+double psnr(const ImageF& reference, const ImageF& image) {
+  assert(reference.rows() == image.rows() && reference.cols() == image.cols());
+  double mse = 0.0;
+  const std::size_t n = reference.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = static_cast<double>(reference.data()[i]) - image.data()[i];
+    mse += d * d;
+  }
+  mse /= static_cast<double>(n);
+  if (mse == 0.0) return std::numeric_limits<double>::infinity();
+  return 10.0 * std::log10(1.0 / mse);
+}
+
+double entropy(const ImageF& image) {
+  double hist[kGrayBins] = {};
+  for (std::size_t i = 0; i < image.size(); ++i) {
+    hist[quantize(image.data()[i], kGrayBins)] += 1.0;
+  }
+  const double n = static_cast<double>(image.size());
+  double h = 0.0;
+  for (double count : hist) {
+    if (count > 0.0) {
+      const double p = count / n;
+      h -= p * std::log2(p);
+    }
+  }
+  return h;
+}
+
+double mutual_information(const ImageF& a, const ImageF& b) {
+  assert(a.rows() == b.rows() && a.cols() == b.cols());
+  std::vector<double> joint(kJointBins * kJointBins, 0.0);
+  double pa[kJointBins] = {};
+  double pb[kJointBins] = {};
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const int qa = quantize(a.data()[i], kJointBins);
+    const int qb = quantize(b.data()[i], kJointBins);
+    joint[qa * kJointBins + qb] += 1.0;
+    pa[qa] += 1.0;
+    pb[qb] += 1.0;
+  }
+  const double n = static_cast<double>(a.size());
+  double mi = 0.0;
+  for (int i = 0; i < kJointBins; ++i) {
+    for (int j = 0; j < kJointBins; ++j) {
+      const double pij = joint[i * kJointBins + j];
+      if (pij > 0.0) {
+        mi += (pij / n) * std::log2(pij * n / (pa[i] * pb[j]));
+      }
+    }
+  }
+  return mi;
+}
+
+double petrovic_qabf(const ImageF& a, const ImageF& b, const ImageF& fused) {
+  assert(a.rows() == fused.rows() && a.cols() == fused.cols());
+  assert(b.rows() == fused.rows() && b.cols() == fused.cols());
+  double num = 0.0;
+  double den = 0.0;
+  for (int r = 0; r < fused.rows(); ++r) {
+    for (int c = 0; c < fused.cols(); ++c) {
+      double ga, aa, gb, ab, gf, af;
+      sobel(a, r, c, &ga, &aa);
+      sobel(b, r, c, &gb, &ab);
+      sobel(fused, r, c, &gf, &af);
+      const double qaf = edge_preservation(ga, aa, gf, af);
+      const double qbf = edge_preservation(gb, ab, gf, af);
+      num += qaf * ga + qbf * gb;
+      den += ga + gb;
+    }
+  }
+  return den > 0.0 ? num / den : 0.0;
+}
+
+FusionQuality evaluate_fusion(const ImageF& a, const ImageF& b, const ImageF& fused) {
+  FusionQuality q;
+  q.entropy_fused = entropy(fused);
+  q.mi = mutual_information(fused, a) + mutual_information(fused, b);
+  q.qabf = petrovic_qabf(a, b, fused);
+  return q;
+}
+
+}  // namespace vf::image

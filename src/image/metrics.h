@@ -1,0 +1,70 @@
+// ImageF and the fusion-quality metrics used by the ablation benches.
+//
+// Images are row-major float, nominally in [0, 1]. The metrics are the three
+// standard information-theoretic/gradient measures of the fusion literature:
+// entropy of the fused image, mutual information MI = I(F;A) + I(F;B), and
+// the Xydeas–Petrovic edge-transfer index Qabf.
+#pragma once
+
+#include <cassert>
+#include <vector>
+
+namespace vf::image {
+
+class ImageF {
+ public:
+  ImageF() = default;
+  ImageF(int rows, int cols, float fill = 0.0f)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols), fill) {}
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+
+  float& operator()(int r, int c) {
+    assert(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<std::size_t>(r) * cols_ + c];
+  }
+  float operator()(int r, int c) const {
+    assert(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<std::size_t>(r) * cols_ + c];
+  }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  float* row(int r) { return data_.data() + static_cast<std::size_t>(r) * cols_; }
+  const float* row(int r) const {
+    return data_.data() + static_cast<std::size_t>(r) * cols_;
+  }
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<float> data_;
+};
+
+struct FusionQuality {
+  double entropy_fused = 0.0;  // bits, 8-bit histogram
+  double mi = 0.0;             // I(F;A) + I(F;B), bits
+  double qabf = 0.0;           // Petrovic edge-transfer index in [0, 1]
+};
+
+// Peak signal-to-noise ratio against `reference`, peak = 1.0 (normalized
+// float images). Returns +inf for bit-identical inputs.
+double psnr(const ImageF& reference, const ImageF& image);
+
+// Shannon entropy of an 8-bit quantization of the image, in bits.
+double entropy(const ImageF& image);
+
+// Mutual information I(A;B) over a joint 64-bin histogram, in bits.
+double mutual_information(const ImageF& a, const ImageF& b);
+
+// Xydeas–Petrovic Qabf: how much of the inputs' edge strength/orientation
+// survives into the fused image, weighted by input edge importance.
+double petrovic_qabf(const ImageF& a, const ImageF& b, const ImageF& fused);
+
+// Bundles the three fusion metrics the benches report.
+FusionQuality evaluate_fusion(const ImageF& a, const ImageF& b, const ImageF& fused);
+
+}  // namespace vf::image

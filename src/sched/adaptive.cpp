@@ -1,0 +1,337 @@
+#include "src/sched/adaptive.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/common/rng.h"
+#include "src/hw/clock.h"
+#include "src/simd/kernels.h"
+
+namespace vf::sched {
+
+// --- frame sweep ------------------------------------------------------------
+
+std::string FrameSize::label() const {
+  return std::to_string(width) + "x" + std::to_string(height);
+}
+
+std::vector<FrameSize> paper_frame_sizes() {
+  return {{32, 24}, {35, 35}, {40, 40}, {64, 48}, {88, 72}};
+}
+
+std::vector<FramePair> make_sweep_frames(const FrameSize& size, int count) {
+  std::vector<FramePair> pairs;
+  pairs.reserve(count);
+  const int rows = size.height;
+  const int cols = size.width;
+  for (int f = 0; f < count; ++f) {
+    Rng rng(0x5eedull * (f + 1) + 13u * rows + 7u * cols);
+    FramePair pair;
+    pair.visible = image::ImageF(rows, cols);
+    pair.thermal = image::ImageF(rows, cols);
+    // Scene geometry: a building edge and a window block the visible camera
+    // sees, and a warm target the thermal camera sees drifting across.
+    const float edge_col = 0.35f * cols;
+    const float win_r0 = 0.2f * rows, win_r1 = 0.45f * rows;
+    const float win_c0 = 0.55f * cols, win_c1 = 0.8f * cols;
+    const float tr = rows * (0.3f + 0.04f * f);
+    const float tc = cols * (0.2f + 0.06f * f);
+    const float sigma = 0.08f * (rows + cols);
+    for (int r = 0; r < rows; ++r) {
+      for (int c = 0; c < cols; ++c) {
+        // Visible: illumination ramp + texture + structures + sensor noise.
+        float vis = 0.35f + 0.25f * static_cast<float>(r) / rows;
+        vis += 0.08f * std::sin(0.55f * c) * std::cos(0.35f * r);
+        if (c < edge_col) vis += 0.18f;
+        if (r > win_r0 && r < win_r1 && c > win_c0 && c < win_c1) vis -= 0.22f;
+        vis += rng.next_float(-0.02f, 0.02f);
+        // Thermal: cool scene, faint structure bleed-through, hot target.
+        float th = 0.12f + 0.05f * static_cast<float>(c) / cols;
+        if (c < edge_col) th += 0.04f;
+        const float dr = r - tr, dc = c - tc;
+        th += 0.75f * std::exp(-(dr * dr + dc * dc) / (2.0f * sigma * sigma));
+        th += rng.next_float(-0.015f, 0.015f);
+        pair.visible(r, c) = vis < 0.0f ? 0.0f : (vis > 1.0f ? 1.0f : vis);
+        pair.thermal(r, c) = th < 0.0f ? 0.0f : (th > 1.0f ? 1.0f : th);
+      }
+    }
+    pairs.push_back(std::move(pair));
+  }
+  return pairs;
+}
+
+// --- cost models ------------------------------------------------------------
+
+CpuCostModel arm_cost_model() { return CpuCostModel{}; }
+
+CpuCostModel neon_cost_model() {
+  CpuCostModel model;
+  // The paper's NEON port gains -10% on the forward transform and -16% on
+  // the inverse (whose interleaved synthesis loop vectorizes better).
+  model.analysis_factor = 0.90;
+  model.synthesis_factor = 0.84;
+  return model;
+}
+
+void TransformBackend::charge(SimDuration d) {
+  switch (phase_) {
+    case Phase::kPrep:
+      times_.prep += d;
+      break;
+    case Phase::kForward:
+      times_.forward += d;
+      break;
+    case Phase::kFusion:
+      times_.fusion += d;
+      break;
+    case Phase::kInverse:
+      times_.inverse += d;
+      break;
+  }
+}
+
+SimDuration TransformBackend::prep_time(int pixels) const {
+  return hw::ps_clock().cycles(arm_cost_model().prep_cycles_per_pixel * pixels);
+}
+
+// --- CPU backends -----------------------------------------------------------
+
+namespace detail {
+
+void CpuTimedFilter::analyze(const float* ext, int out_len, const float* lp,
+                             const float* hp, int taps, float* lo, float* hi) {
+  if (use_simd_) {
+    simd::dual_corr_decimate2_simd(ext, out_len, lp, hp, taps, lo, hi);
+  } else {
+    simd::dual_corr_decimate2_scalar(ext, out_len, lp, hp, taps, lo, hi);
+  }
+  owner_->charge(
+      hw::ps_clock().cycles(model_.analysis_line_cycles(2 * out_len, taps)));
+}
+
+void CpuTimedFilter::synthesize(const float* ext, int pairs, const float* ca,
+                                const float* cb, int taps, float* out) {
+  if (use_simd_) {
+    simd::dual_corr_decimate2_ileave_simd(ext, pairs, ca, cb, taps, out);
+  } else {
+    simd::dual_corr_decimate2_ileave_scalar(ext, pairs, ca, cb, taps, out);
+  }
+  owner_->charge(
+      hw::ps_clock().cycles(model_.synthesis_line_cycles(2 * pairs, taps)));
+}
+
+void CpuTimedFilter::magnitude(const float* re, const float* im, int n, float* mag) {
+  if (use_simd_) {
+    simd::complex_magnitude_simd(re, im, n, mag);
+  } else {
+    simd::complex_magnitude_scalar(re, im, n, mag);
+  }
+  // The fusion rule always runs on the PS at scalar rates — the paper only
+  // accelerates the transforms.
+  owner_->charge(hw::ps_clock().cycles(model_.magnitude_cycles_per_sample * n));
+}
+
+void CpuTimedFilter::select(const float* a_re, const float* a_im, const float* b_re,
+                            const float* b_im, const float* mag_a, const float* mag_b,
+                            int n, float* out_re, float* out_im) {
+  simd::select_by_magnitude_scalar(a_re, a_im, b_re, b_im, mag_a, mag_b, n, out_re,
+                                   out_im);
+  owner_->charge(hw::ps_clock().cycles(model_.select_cycles_per_sample * n));
+}
+
+}  // namespace detail
+
+// --- FPGA backend -----------------------------------------------------------
+
+namespace {
+
+// The float engine retires one output pair every two PL cycles (II=2) after
+// a pipeline fill of `slots` cycles.
+double engine_compute_cycles(int outputs, int slots) {
+  return 2.0 * outputs + slots;
+}
+
+// A bank only runs on the engine if its coefficients fit the shift-register
+// chain: `slots` for analysis, `slots + 2` for the interleaved synthesis
+// window (the polyphase pair skews the chain by two stages). Modeling a line
+// the hardware cannot hold would produce plausible-looking nonsense, so
+// refuse loudly (e.g. the paper's 12-slot engine cannot run the 14-tap
+// q-shift banks — see bench_ablation_taps).
+void check_engine_fit(const driver::WaveletAccelerator& accel, int taps,
+                      bool synthesis) {
+  const int limit = accel.engine().slots + (synthesis ? 2 : 0);
+  if (taps > limit) {
+    std::fprintf(stderr,
+                 "fatal: %d-tap %s filter does not fit the modeled wavelet "
+                 "engine (%d coefficient slots)\n",
+                 taps, synthesis ? "synthesis" : "analysis", accel.engine().slots);
+    std::abort();
+  }
+}
+
+}  // namespace
+
+class FpgaBackend::Filter : public dwt::LineFilter {
+ public:
+  Filter(FpgaBackend* owner, driver::WaveletAccelerator* accel)
+      : owner_(owner), accel_(accel), cpu_(arm_cost_model()) {}
+
+  void analyze(const float* ext, int out_len, const float* lp, const float* hp,
+               int taps, float* lo, float* hi) override {
+    check_engine_fit(*accel_, taps, /*synthesis=*/false);
+    simd::dual_corr_decimate2_scalar(ext, out_len, lp, hp, taps, lo, hi);
+    owner_->charge(accel_->line_time(
+        2 * out_len + taps, 2 * out_len,
+        engine_compute_cycles(out_len, accel_->engine().slots)));
+  }
+
+  void synthesize(const float* ext, int pairs, const float* ca, const float* cb,
+                  int taps, float* out) override {
+    check_engine_fit(*accel_, taps, /*synthesis=*/true);
+    simd::dual_corr_decimate2_ileave_scalar(ext, pairs, ca, cb, taps, out);
+    owner_->charge(accel_->line_time(
+        2 * pairs + taps, 2 * pairs,
+        engine_compute_cycles(pairs, accel_->engine().slots)));
+  }
+
+  void magnitude(const float* re, const float* im, int n, float* mag) override {
+    simd::complex_magnitude_scalar(re, im, n, mag);
+    owner_->charge(hw::ps_clock().cycles(cpu_.magnitude_cycles_per_sample * n));
+  }
+
+  void select(const float* a_re, const float* a_im, const float* b_re,
+              const float* b_im, const float* mag_a, const float* mag_b, int n,
+              float* out_re, float* out_im) override {
+    simd::select_by_magnitude_scalar(a_re, a_im, b_re, b_im, mag_a, mag_b, n, out_re,
+                                     out_im);
+    owner_->charge(hw::ps_clock().cycles(cpu_.select_cycles_per_sample * n));
+  }
+
+ private:
+  FpgaBackend* owner_;
+  driver::WaveletAccelerator* accel_;
+  CpuCostModel cpu_;
+};
+
+FpgaBackend::FpgaBackend(const hw::WaveletEngineConfig& engine,
+                         const driver::DriverCosts& costs)
+    : accel_(engine, costs), filter_(std::make_unique<Filter>(this, &accel_)) {}
+
+FpgaBackend::~FpgaBackend() = default;
+
+dwt::LineFilter& FpgaBackend::line_filter() { return *filter_; }
+
+// --- adaptive backend -------------------------------------------------------
+
+class AdaptiveBackend::Filter : public dwt::LineFilter {
+ public:
+  Filter(AdaptiveBackend* owner, driver::WaveletAccelerator* accel,
+         LineRouter* router)
+      : owner_(owner), accel_(accel), router_(router), neon_(neon_cost_model()) {}
+
+  void analyze(const float* ext, int out_len, const float* lp, const float* hp,
+               int taps, float* lo, float* hi) override {
+    if (router_->use_fpga(2 * out_len + taps)) {
+      check_engine_fit(*accel_, taps, /*synthesis=*/false);
+      simd::dual_corr_decimate2_scalar(ext, out_len, lp, hp, taps, lo, hi);
+      owner_->charge(accel_->line_time(
+          2 * out_len + taps, 2 * out_len,
+          engine_compute_cycles(out_len, accel_->engine().slots)));
+    } else {
+      simd::dual_corr_decimate2_simd(ext, out_len, lp, hp, taps, lo, hi);
+      owner_->charge(
+          hw::ps_clock().cycles(neon_.analysis_line_cycles(2 * out_len, taps)));
+    }
+  }
+
+  void synthesize(const float* ext, int pairs, const float* ca, const float* cb,
+                  int taps, float* out) override {
+    if (router_->use_fpga(2 * pairs + taps)) {
+      check_engine_fit(*accel_, taps, /*synthesis=*/true);
+      simd::dual_corr_decimate2_ileave_scalar(ext, pairs, ca, cb, taps, out);
+      owner_->charge(accel_->line_time(
+          2 * pairs + taps, 2 * pairs,
+          engine_compute_cycles(pairs, accel_->engine().slots)));
+    } else {
+      simd::dual_corr_decimate2_ileave_simd(ext, pairs, ca, cb, taps, out);
+      owner_->charge(
+          hw::ps_clock().cycles(neon_.synthesis_line_cycles(2 * pairs, taps)));
+    }
+  }
+
+  void magnitude(const float* re, const float* im, int n, float* mag) override {
+    simd::complex_magnitude_simd(re, im, n, mag);
+    owner_->charge(hw::ps_clock().cycles(neon_.magnitude_cycles_per_sample * n));
+  }
+
+  void select(const float* a_re, const float* a_im, const float* b_re,
+              const float* b_im, const float* mag_a, const float* mag_b, int n,
+              float* out_re, float* out_im) override {
+    simd::select_by_magnitude_scalar(a_re, a_im, b_re, b_im, mag_a, mag_b, n, out_re,
+                                     out_im);
+    owner_->charge(hw::ps_clock().cycles(neon_.select_cycles_per_sample * n));
+  }
+
+ private:
+  AdaptiveBackend* owner_;
+  driver::WaveletAccelerator* accel_;
+  LineRouter* router_;
+  CpuCostModel neon_;
+};
+
+AdaptiveBackend::AdaptiveBackend(const Options& options)
+    : accel_(options.engine, options.driver_costs),
+      router_(options.threshold_samples),
+      filter_(std::make_unique<Filter>(this, &accel_, &router_)) {}
+
+AdaptiveBackend::~AdaptiveBackend() = default;
+
+dwt::LineFilter& AdaptiveBackend::line_filter() { return *filter_; }
+
+// --- probing ----------------------------------------------------------------
+
+FrameRunResult TimedFusionRunner::run_frame_pair(const image::ImageF& visible,
+                                                 const image::ImageF& thermal) {
+  backend_.begin_frame();
+  backend_.set_phase(Phase::kPrep);
+  backend_.charge(backend_.prep_time(
+      static_cast<int>(visible.size() + thermal.size())));
+
+  backend_.set_phase(Phase::kForward);
+  const dwt::DtcwtPyramid pa =
+      dwt::forward_dtcwt(visible, config_.transform, backend_.line_filter());
+  const dwt::DtcwtPyramid pb =
+      dwt::forward_dtcwt(thermal, config_.transform, backend_.line_filter());
+
+  backend_.set_phase(Phase::kFusion);
+  dwt::DtcwtPyramid fused;
+  fusion::fuse_pyramids(pa, pb, &fused, backend_.line_filter());
+
+  backend_.set_phase(Phase::kInverse);
+  FrameRunResult result;
+  result.fused = dwt::inverse_dtcwt(fused, config_.transform, backend_.line_filter());
+  result.times = backend_.frame_times();
+  return result;
+}
+
+ProbeResult probe_backend(TransformBackend& backend, const FrameSize& size,
+                          int frames, const fusion::FuseConfig& config) {
+  TimedFusionRunner runner(backend, config);
+  const std::vector<FramePair> pairs = make_sweep_frames(size, frames);
+  ProbeResult probe;
+  probe.frames = frames;
+  for (const FramePair& pair : pairs) {
+    const FrameRunResult r = runner.run_frame_pair(pair.visible, pair.thermal);
+    probe.prep += r.times.prep;
+    probe.forward += r.times.forward;
+    probe.fusion += r.times.fusion;
+    probe.inverse += r.times.inverse;
+  }
+  probe.total = probe.prep + probe.forward + probe.fusion + probe.inverse;
+  const power::PowerModel pm;
+  probe.energy_mj = pm.energy_mj(backend.compute_mode(), probe.total);
+  return probe;
+}
+
+}  // namespace vf::sched

@@ -1,0 +1,262 @@
+// Engine scheduling on the modeled ZC702: the ARM / NEON / FPGA transform
+// backends, per-phase time accounting, and the adaptive per-line router the
+// paper's future-work section asks for ("an adaptive system that
+// intelligently selects between the NEON engine and the FPGA").
+//
+// A backend executes the *same* numerics as every other backend (fused
+// output is bit-identical across engines); what differs is the modeled time
+// charged per line request. Cost-model constants are calibrated against the
+// paper's measured curves — see DESIGN.md §2 and tests/test_sched.cpp.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/sim_time.h"
+#include "src/fusion/dwt_fusion.h"
+#include "src/fusion/fuse.h"
+#include "src/hw/driver.h"
+#include "src/hw/resources.h"
+#include "src/image/metrics.h"
+#include "src/power/recorder.h"
+
+namespace vf::sched {
+
+// --- frame sweep ------------------------------------------------------------
+
+struct FrameSize {
+  int width = 0;
+  int height = 0;
+  std::string label() const;
+  int pixels() const { return width * height; }
+};
+
+// The five sizes of the paper's figures: 32x24, 35x35, 40x40, 64x48, 88x72.
+std::vector<FrameSize> paper_frame_sizes();
+
+struct FramePair {
+  image::ImageF visible;
+  image::ImageF thermal;
+};
+
+// Deterministic synthetic surveillance scene: a textured visible frame and a
+// thermal frame whose hot target drifts with the frame index.
+std::vector<FramePair> make_sweep_frames(const FrameSize& size, int count);
+
+// --- time accounting --------------------------------------------------------
+
+enum class Phase { kPrep, kForward, kFusion, kInverse };
+
+struct StageTimes {
+  SimDuration prep, forward, fusion, inverse;
+  SimDuration total() const { return prep + forward + fusion + inverse; }
+};
+
+// CPU-side cost model (PS cycles). Constants reproduce the paper's absolute
+// times — which imply roughly 70 cycles per float MAC on the A9 — and its
+// NEON deltas (-10% forward, -16% inverse).
+struct CpuCostModel {
+  double line_overhead_cycles = 400;
+  double per_sample_base_cycles = 470;
+  double per_sample_tap_cycles = 2.0;
+  double magnitude_cycles_per_sample = 110;
+  double select_cycles_per_sample = 35;
+  double prep_cycles_per_pixel = 300;
+  double analysis_factor = 1.0;   // NEON: 0.90
+  double synthesis_factor = 1.0;  // NEON: 0.84
+
+  double analysis_line_cycles(int samples, int taps) const {
+    return line_overhead_cycles +
+           analysis_factor * samples * (per_sample_base_cycles + per_sample_tap_cycles * taps);
+  }
+  double synthesis_line_cycles(int samples, int taps) const {
+    return line_overhead_cycles +
+           synthesis_factor * samples * (per_sample_base_cycles + per_sample_tap_cycles * taps);
+  }
+};
+
+CpuCostModel arm_cost_model();
+CpuCostModel neon_cost_model();
+
+// --- backends ---------------------------------------------------------------
+
+class TransformBackend {
+ public:
+  virtual ~TransformBackend() = default;
+
+  virtual const char* name() const = 0;
+  virtual power::ComputeMode compute_mode() const = 0;
+  virtual dwt::LineFilter& line_filter() = 0;
+
+  void begin_frame() { times_ = {}; }
+  void set_phase(Phase p) { phase_ = p; }
+  Phase phase() const { return phase_; }
+  const StageTimes& frame_times() const { return times_; }
+
+  // Adds modeled time to the current phase's ledger.
+  void charge(SimDuration d);
+
+  // Frame prep/conversion runs on the ARM regardless of engine.
+  SimDuration prep_time(int pixels) const;
+
+ private:
+  StageTimes times_;
+  Phase phase_ = Phase::kPrep;
+};
+
+namespace detail {
+// Executes lines with scalar or 4-lane kernels and charges CPU-model time.
+class CpuTimedFilter : public dwt::LineFilter {
+ public:
+  CpuTimedFilter(TransformBackend* owner, CpuCostModel model, bool use_simd)
+      : owner_(owner), model_(model), use_simd_(use_simd) {}
+
+  void analyze(const float* ext, int out_len, const float* lp, const float* hp,
+               int taps, float* lo, float* hi) override;
+  void synthesize(const float* ext, int pairs, const float* ca, const float* cb,
+                  int taps, float* out) override;
+  void magnitude(const float* re, const float* im, int n, float* mag) override;
+  void select(const float* a_re, const float* a_im, const float* b_re,
+              const float* b_im, const float* mag_a, const float* mag_b, int n,
+              float* out_re, float* out_im) override;
+
+ private:
+  TransformBackend* owner_;
+  CpuCostModel model_;
+  bool use_simd_;
+};
+}  // namespace detail
+
+class ArmBackend : public TransformBackend {
+ public:
+  ArmBackend() : filter_(this, arm_cost_model(), /*use_simd=*/false) {}
+  const char* name() const override { return "ARM"; }
+  power::ComputeMode compute_mode() const override {
+    return power::ComputeMode::kArmOnly;
+  }
+  dwt::LineFilter& line_filter() override { return filter_; }
+
+ private:
+  detail::CpuTimedFilter filter_;
+};
+
+class NeonBackend : public TransformBackend {
+ public:
+  NeonBackend() : filter_(this, neon_cost_model(), /*use_simd=*/true) {}
+  const char* name() const override { return "NEON"; }
+  power::ComputeMode compute_mode() const override {
+    return power::ComputeMode::kArmNeon;
+  }
+  dwt::LineFilter& line_filter() override { return filter_; }
+
+ private:
+  detail::CpuTimedFilter filter_;
+};
+
+class FpgaBackend : public TransformBackend {
+ public:
+  explicit FpgaBackend(const hw::WaveletEngineConfig& engine = {},
+                       const driver::DriverCosts& costs = {});
+  ~FpgaBackend() override;
+  const char* name() const override { return "FPGA"; }
+  power::ComputeMode compute_mode() const override {
+    return power::ComputeMode::kArmFpga;
+  }
+  dwt::LineFilter& line_filter() override;
+
+  const driver::WaveletAccelerator& accelerator() const { return accel_; }
+
+ private:
+  class Filter;
+  driver::WaveletAccelerator accel_;
+  std::unique_ptr<Filter> filter_;
+};
+
+// Per-line NEON/FPGA routing decision + statistics.
+class LineRouter {
+ public:
+  explicit LineRouter(int threshold_samples) : threshold_(threshold_samples) {}
+
+  // `line_samples` is the full line request size (payload + filter window),
+  // i.e. the number of words the driver would ship to the engine.
+  bool use_fpga(int line_samples) {
+    const bool fpga = line_samples >= threshold_;
+    (fpga ? fpga_lines_ : simd_lines_) += 1;
+    return fpga;
+  }
+
+  int threshold_samples() const { return threshold_; }
+  long long lines_on_fpga() const { return fpga_lines_; }
+  long long lines_on_simd() const { return simd_lines_; }
+
+ private:
+  int threshold_;
+  long long fpga_lines_ = 0;
+  long long simd_lines_ = 0;
+};
+
+class AdaptiveBackend : public TransformBackend {
+ public:
+  struct Options {
+    // Calibrated crossover: lines at least this long go to the FPGA engine,
+    // shorter ones stay on NEON (see calibrate.h).
+    int threshold_samples = 44;
+    hw::WaveletEngineConfig engine;
+    driver::DriverCosts driver_costs;
+  };
+
+  AdaptiveBackend() : AdaptiveBackend(Options{}) {}
+  explicit AdaptiveBackend(const Options& options);
+  ~AdaptiveBackend() override;
+
+  const char* name() const override { return "Adaptive"; }
+  power::ComputeMode compute_mode() const override {
+    return power::ComputeMode::kArmFpga;  // bitstream stays loaded
+  }
+  dwt::LineFilter& line_filter() override;
+
+  const LineRouter& router() const { return router_; }
+  const driver::WaveletAccelerator& accelerator() const { return accel_; }
+
+ private:
+  class Filter;
+  driver::WaveletAccelerator accel_;
+  LineRouter router_;
+  std::unique_ptr<Filter> filter_;
+};
+
+// --- probing / timed runs ---------------------------------------------------
+
+struct FrameRunResult {
+  StageTimes times;
+  image::ImageF fused;
+};
+
+// Runs the full fusion pipeline on one backend, clocking each phase.
+class TimedFusionRunner {
+ public:
+  explicit TimedFusionRunner(TransformBackend& backend,
+                             fusion::FuseConfig config = {})
+      : backend_(backend), config_(config) {}
+
+  FrameRunResult run_frame_pair(const image::ImageF& visible,
+                                const image::ImageF& thermal);
+
+ private:
+  TransformBackend& backend_;
+  fusion::FuseConfig config_;
+};
+
+struct ProbeResult {
+  SimDuration prep, forward, fusion, inverse, total;
+  double energy_mj = 0.0;
+  int frames = 0;
+};
+
+// Fuses `frames` consecutive frame pairs at `size` on `backend` and returns
+// accumulated modeled times and energy.
+ProbeResult probe_backend(TransformBackend& backend, const FrameSize& size,
+                          int frames, const fusion::FuseConfig& config = {});
+
+}  // namespace vf::sched

@@ -1,0 +1,29 @@
+#include "src/sched/calibrate.h"
+
+namespace vf::sched {
+
+ThresholdCalibration calibrate_adaptive_threshold(CrossoverMetric metric,
+                                                  const fusion::FuseConfig& config,
+                                                  int frames) {
+  ThresholdCalibration cal;
+  cal.candidates = {0, 16, 24, 32, 36, 40, 44, 48, 56, 64, 80, 96, 128, 1 << 20};
+  const std::vector<FrameSize> sizes = paper_frame_sizes();
+  for (const int threshold : cal.candidates) {
+    double cost = 0.0;
+    for (const FrameSize& size : sizes) {
+      AdaptiveBackend::Options options;
+      options.threshold_samples = threshold;
+      AdaptiveBackend backend(options);
+      const ProbeResult r = probe_backend(backend, size, frames, config);
+      cost += metric == CrossoverMetric::kTotalTime ? r.total.sec() : r.energy_mj;
+    }
+    cal.costs.push_back(cost);
+    if (cal.costs.size() == 1 || cost < cal.best_cost) {
+      cal.best_cost = cost;
+      cal.best_threshold = threshold;
+    }
+  }
+  return cal;
+}
+
+}  // namespace vf::sched

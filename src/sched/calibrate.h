@@ -1,0 +1,26 @@
+// Self-calibration of the adaptive router's crossover threshold.
+//
+// Sweeps candidate thresholds over the paper's frame-size sweep and picks
+// the one minimizing total modeled time or energy — the run-time
+// intelligence the paper's future-work section calls for.
+#pragma once
+
+#include <vector>
+
+#include "src/sched/adaptive.h"
+
+namespace vf::sched {
+
+enum class CrossoverMetric { kTotalTime, kEnergy };
+
+struct ThresholdCalibration {
+  int best_threshold = 0;
+  double best_cost = 0.0;  // seconds (kTotalTime) or mJ (kEnergy), sweep total
+  std::vector<int> candidates;
+  std::vector<double> costs;  // one per candidate, same units as best_cost
+};
+
+ThresholdCalibration calibrate_adaptive_threshold(
+    CrossoverMetric metric, const fusion::FuseConfig& config = {}, int frames = 4);
+
+}  // namespace vf::sched

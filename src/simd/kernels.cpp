@@ -1,0 +1,264 @@
+#include "src/simd/kernels.h"
+
+#include <cmath>
+#include <vector>
+
+namespace vf::simd {
+
+namespace {
+
+// Phase-split scratch for the decimating kernels. A decimate-by-2
+// correlation reads the input at stride 2, which defeats packed loads; the
+// NEON code this mirrors uses vld2 to deinterleave into even/odd phase
+// lanes, after which every lane load is contiguous. Deinterleaving once per
+// line costs O(n) and makes the 4-lane tap loop vectorizable.
+//
+//   lo[i] = sum_s lp[2s]*xe[i+s] + lp[2s+1]*xo[i+s]
+//
+// Accumulation order per output stays t-ascending (t = 2s, then 2s+1), so
+// results are bit-identical to the scalar kernel.
+thread_local std::vector<float> g_phase_scratch;
+
+inline void deinterleave(const float* x, int out_len, int taps, float** xe,
+                         float** xo) {
+  const int ne = out_len + (taps + 1) / 2;  // even-phase samples needed
+  const int no = out_len + taps / 2;        // odd-phase samples needed
+  if (static_cast<int>(g_phase_scratch.size()) < ne + no) {
+    g_phase_scratch.resize(ne + no);
+  }
+  float* e = g_phase_scratch.data();
+  float* o = e + ne;
+  for (int k = 0; k < ne; ++k) e[k] = x[2 * k];
+  for (int k = 0; k < no; ++k) o[k] = x[2 * k + 1];
+  *xe = e;
+  *xo = o;
+}
+
+}  // namespace
+
+// --- dual_corr_decimate2 ----------------------------------------------------
+
+void dual_corr_decimate2_scalar(const float* x, int out_len, const float* lp,
+                                const float* hp, int taps, float* lo, float* hi) {
+  for (int i = 0; i < out_len; ++i) {
+    const float* w = x + 2 * i;
+    float acc_lo = 0.0f;
+    float acc_hi = 0.0f;
+    for (int t = 0; t < taps; ++t) {
+      acc_lo += lp[t] * w[t];
+      acc_hi += hp[t] * w[t];
+    }
+    lo[i] = acc_lo;
+    hi[i] = acc_hi;
+  }
+}
+
+void dual_corr_decimate2_simd(const float* x, int out_len, const float* lp,
+                              const float* hp, int taps, float* lo, float* hi) {
+  // vld2-style: deinterleave, then 4-lane blocks with contiguous loads.
+  float* xe;
+  float* xo;
+  deinterleave(x, out_len, taps, &xe, &xo);
+  const int pairs = taps / 2;
+  int i = 0;
+  for (; i + kSimdLanes <= out_len; i += kSimdLanes) {
+    const float* pe = xe + i;
+    const float* po = xo + i;
+    float lo0 = 0.0f, lo1 = 0.0f, lo2 = 0.0f, lo3 = 0.0f;
+    float hi0 = 0.0f, hi1 = 0.0f, hi2 = 0.0f, hi3 = 0.0f;
+    for (int s = 0; s < pairs; ++s) {
+      const float cle = lp[2 * s];
+      const float clo = lp[2 * s + 1];
+      const float che = hp[2 * s];
+      const float cho = hp[2 * s + 1];
+      const float e0 = pe[s], e1 = pe[s + 1], e2 = pe[s + 2], e3 = pe[s + 3];
+      const float o0 = po[s], o1 = po[s + 1], o2 = po[s + 2], o3 = po[s + 3];
+      lo0 += cle * e0;
+      lo1 += cle * e1;
+      lo2 += cle * e2;
+      lo3 += cle * e3;
+      lo0 += clo * o0;
+      lo1 += clo * o1;
+      lo2 += clo * o2;
+      lo3 += clo * o3;
+      hi0 += che * e0;
+      hi1 += che * e1;
+      hi2 += che * e2;
+      hi3 += che * e3;
+      hi0 += cho * o0;
+      hi1 += cho * o1;
+      hi2 += cho * o2;
+      hi3 += cho * o3;
+    }
+    if (taps & 1) {
+      const float cl = lp[taps - 1];
+      const float ch = hp[taps - 1];
+      lo0 += cl * pe[pairs];
+      lo1 += cl * pe[pairs + 1];
+      lo2 += cl * pe[pairs + 2];
+      lo3 += cl * pe[pairs + 3];
+      hi0 += ch * pe[pairs];
+      hi1 += ch * pe[pairs + 1];
+      hi2 += ch * pe[pairs + 2];
+      hi3 += ch * pe[pairs + 3];
+    }
+    lo[i] = lo0;
+    lo[i + 1] = lo1;
+    lo[i + 2] = lo2;
+    lo[i + 3] = lo3;
+    hi[i] = hi0;
+    hi[i + 1] = hi1;
+    hi[i + 2] = hi2;
+    hi[i + 3] = hi3;
+  }
+  if (i < out_len) {
+    dual_corr_decimate2_scalar(x + 2 * i, out_len - i, lp, hp, taps, lo + i, hi + i);
+  }
+}
+
+void dual_corr_decimate2_autovec(const float* x, int out_len, const float* lp,
+                                 const float* hp, int taps, float* lo, float* hi) {
+  // Tap-outer / output-inner loop order: unit-stride writes over lo/hi let the
+  // compiler emit packed FMAs without any manual blocking.
+  for (int i = 0; i < out_len; ++i) {
+    lo[i] = 0.0f;
+    hi[i] = 0.0f;
+  }
+  for (int t = 0; t < taps; ++t) {
+    const float cl = lp[t];
+    const float ch = hp[t];
+    const float* xt = x + t;
+    for (int i = 0; i < out_len; ++i) {
+      lo[i] += cl * xt[2 * i];
+      hi[i] += ch * xt[2 * i];
+    }
+  }
+}
+
+// --- dual_corr_decimate2_ileave ---------------------------------------------
+
+void dual_corr_decimate2_ileave_scalar(const float* x, int pairs, const float* ca,
+                                       const float* cb, int taps, float* out) {
+  for (int k = 0; k < pairs; ++k) {
+    const float* w = x + 2 * k;
+    float acc_a = 0.0f;
+    float acc_b = 0.0f;
+    for (int t = 0; t < taps; ++t) {
+      acc_a += ca[t] * w[t];
+      acc_b += cb[t] * w[t];
+    }
+    out[2 * k] = acc_a;
+    out[2 * k + 1] = acc_b;
+  }
+}
+
+void dual_corr_decimate2_ileave_simd(const float* x, int pairs, const float* ca,
+                                     const float* cb, int taps, float* out) {
+  // Same vld2-style phase split as the analysis kernel; the two output
+  // phases (even via ca, odd via cb) are stored back interleaved (vst2).
+  float* xe;
+  float* xo;
+  deinterleave(x, pairs, taps, &xe, &xo);
+  const int tap_pairs = taps / 2;
+  int k = 0;
+  for (; k + kSimdLanes <= pairs; k += kSimdLanes) {
+    const float* pe = xe + k;
+    const float* po = xo + k;
+    float a[kSimdLanes] = {};
+    float b[kSimdLanes] = {};
+    for (int s = 0; s < tap_pairs; ++s) {
+      const float fae = ca[2 * s];
+      const float fao = ca[2 * s + 1];
+      const float fbe = cb[2 * s];
+      const float fbo = cb[2 * s + 1];
+      for (int l = 0; l < kSimdLanes; ++l) {
+        const float e = pe[s + l];
+        const float o = po[s + l];
+        a[l] += fae * e;
+        a[l] += fao * o;
+        b[l] += fbe * e;
+        b[l] += fbo * o;
+      }
+    }
+    if (taps & 1) {
+      const float fa = ca[taps - 1];
+      const float fb = cb[taps - 1];
+      for (int l = 0; l < kSimdLanes; ++l) {
+        a[l] += fa * pe[tap_pairs + l];
+        b[l] += fb * pe[tap_pairs + l];
+      }
+    }
+    for (int l = 0; l < kSimdLanes; ++l) {
+      out[2 * (k + l)] = a[l];
+      out[2 * (k + l) + 1] = b[l];
+    }
+  }
+  if (k < pairs) {
+    dual_corr_decimate2_ileave_scalar(x + 2 * k, pairs - k, ca, cb, taps,
+                                      out + 2 * k);
+  }
+}
+
+void dual_corr_decimate2_ileave_autovec(const float* x, int pairs, const float* ca,
+                                        const float* cb, int taps, float* out) {
+  for (int k = 0; k < 2 * pairs; ++k) out[k] = 0.0f;
+  for (int t = 0; t < taps; ++t) {
+    const float fa = ca[t];
+    const float fb = cb[t];
+    const float* xt = x + t;
+    for (int k = 0; k < pairs; ++k) {
+      out[2 * k] += fa * xt[2 * k];
+      out[2 * k + 1] += fb * xt[2 * k];
+    }
+  }
+}
+
+// --- complex_magnitude ------------------------------------------------------
+
+void complex_magnitude_scalar(const float* re, const float* im, int n, float* mag) {
+  for (int i = 0; i < n; ++i) {
+    mag[i] = std::sqrt(re[i] * re[i] + im[i] * im[i]);
+  }
+}
+
+void complex_magnitude_simd(const float* re, const float* im, int n, float* mag) {
+  int i = 0;
+  for (; i + kSimdLanes <= n; i += kSimdLanes) {
+    const float s0 = re[i] * re[i] + im[i] * im[i];
+    const float s1 = re[i + 1] * re[i + 1] + im[i + 1] * im[i + 1];
+    const float s2 = re[i + 2] * re[i + 2] + im[i + 2] * im[i + 2];
+    const float s3 = re[i + 3] * re[i + 3] + im[i + 3] * im[i + 3];
+    mag[i] = std::sqrt(s0);
+    mag[i + 1] = std::sqrt(s1);
+    mag[i + 2] = std::sqrt(s2);
+    mag[i + 3] = std::sqrt(s3);
+  }
+  for (; i < n; ++i) mag[i] = std::sqrt(re[i] * re[i] + im[i] * im[i]);
+}
+
+// --- select_by_magnitude ----------------------------------------------------
+
+void select_by_magnitude_scalar(const float* a_re, const float* a_im, const float* b_re,
+                                const float* b_im, const float* mag_a,
+                                const float* mag_b, int n, float* out_re,
+                                float* out_im) {
+  for (int i = 0; i < n; ++i) {
+    const bool take_a = mag_a[i] >= mag_b[i];
+    out_re[i] = take_a ? a_re[i] : b_re[i];
+    out_im[i] = take_a ? a_im[i] : b_im[i];
+  }
+}
+
+void select_by_magnitude_simd(const float* a_re, const float* a_im, const float* b_re,
+                              const float* b_im, const float* mag_a, const float* mag_b,
+                              int n, float* out_re, float* out_im) {
+  // Branch-free select so the compiler can lower it to vector blends.
+  for (int i = 0; i < n; ++i) {
+    const float take_a = mag_a[i] >= mag_b[i] ? 1.0f : 0.0f;
+    const float take_b = 1.0f - take_a;
+    out_re[i] = take_a * a_re[i] + take_b * b_re[i];
+    out_im[i] = take_a * a_im[i] + take_b * b_im[i];
+  }
+}
+
+}  // namespace vf::simd

@@ -1,0 +1,57 @@
+// Compute kernels of the fusion pipeline, in three flavours each:
+//
+//   *_scalar  — reference implementation, one output at a time;
+//   *_simd    — hand-blocked 4-lane version mirroring the paper's NEON code
+//               (four independent accumulator lanes, unrolled tap loop);
+//   *_autovec — plain nested loop laid out for the compiler's vectorizer.
+//
+// All kernels are pure: extension/padding policy (periodic, symmetric) is the
+// caller's job — `x` must already hold the extended line. This is exactly the
+// contract of the paper's FPGA wavelet engine, which also receives a line
+// buffer of `2*out_len + taps` samples per request.
+//
+//   dual_corr_decimate2:        lo[i] = sum_t lp[t] * x[2i + t]
+//                               hi[i] = sum_t hp[t] * x[2i + t]
+//   dual_corr_decimate2_ileave: out[2k]   = sum_t ca[t] * x[2k + t]
+//                               out[2k+1] = sum_t cb[t] * x[2k + t]
+//     (synthesis form: x is the interleaved lo/hi stream, ca/cb are the even/
+//      odd polyphase filters, so one pass reconstructs two output samples)
+//   complex_magnitude:          mag[i] = sqrt(re[i]^2 + im[i]^2)
+//   select_by_magnitude:        out[i] = mag_a[i] >= mag_b[i] ? a[i] : b[i]
+#pragma once
+
+#include <cstdint>
+
+namespace vf::simd {
+
+inline constexpr int kSimdLanes = 4;
+
+// --- analysis: dual correlation + decimate by 2 -----------------------------
+void dual_corr_decimate2_scalar(const float* x, int out_len, const float* lp,
+                                const float* hp, int taps, float* lo, float* hi);
+void dual_corr_decimate2_simd(const float* x, int out_len, const float* lp,
+                              const float* hp, int taps, float* lo, float* hi);
+void dual_corr_decimate2_autovec(const float* x, int out_len, const float* lp,
+                                 const float* hp, int taps, float* lo, float* hi);
+
+// --- synthesis: dual correlation over the interleaved subband stream --------
+void dual_corr_decimate2_ileave_scalar(const float* x, int pairs, const float* ca,
+                                       const float* cb, int taps, float* out);
+void dual_corr_decimate2_ileave_simd(const float* x, int pairs, const float* ca,
+                                     const float* cb, int taps, float* out);
+void dual_corr_decimate2_ileave_autovec(const float* x, int pairs, const float* ca,
+                                        const float* cb, int taps, float* out);
+
+// --- fusion rule helpers ----------------------------------------------------
+void complex_magnitude_scalar(const float* re, const float* im, int n, float* mag);
+void complex_magnitude_simd(const float* re, const float* im, int n, float* mag);
+
+void select_by_magnitude_scalar(const float* a_re, const float* a_im, const float* b_re,
+                                const float* b_im, const float* mag_a,
+                                const float* mag_b, int n, float* out_re,
+                                float* out_im);
+void select_by_magnitude_simd(const float* a_re, const float* a_im, const float* b_re,
+                              const float* b_im, const float* mag_a, const float* mag_b,
+                              int n, float* out_re, float* out_im);
+
+}  // namespace vf::simd

@@ -1,0 +1,92 @@
+// Clock, AXI transfer, and driver/accelerator model checks.
+#include <gtest/gtest.h>
+
+#include "src/hw/axi.h"
+#include "src/hw/clock.h"
+#include "src/hw/driver.h"
+
+namespace {
+
+using namespace vf;
+
+TEST(Clock, Zc702Domains) {
+  EXPECT_DOUBLE_EQ(hw::ps_clock().hz(), 533e6);
+  EXPECT_DOUBLE_EQ(hw::pl_clock().hz(), 100e6);
+  EXPECT_NEAR(hw::ps_clock().cycles(533).us(), 1.0, 1e-9);
+  EXPECT_NEAR(hw::pl_clock().cycles(100).us(), 1.0, 1e-9);
+}
+
+TEST(Axi, GpPortCostsTwentyFiveCyclesPerWord) {
+  const hw::GpPortModel gp;
+  EXPECT_DOUBLE_EQ(gp.cycles_for_words(1), 25.0);
+  EXPECT_DOUBLE_EQ(gp.cycles_for_words(100), 2500.0);
+}
+
+TEST(Axi, AcpDmaBeatsGpPortForLinePayloads) {
+  const hw::GpPortModel gp;
+  const hw::AcpDmaModel acp;
+  const hw::ClockDomain ps = hw::ps_clock();
+  const hw::ClockDomain pl = hw::pl_clock();
+  // Despite the 5.3x slower clock, the DMA wins on every wavelet-line-sized
+  // payload the pipeline ships.
+  for (int words : {36, 102, 190, 2062, 6336}) {
+    const double gp_us = ps.cycles(gp.cycles_for_words(words)).us();
+    const double acp_us = pl.cycles(acp.cycles_for_words(words)).us();
+    EXPECT_LT(acp_us, gp_us) << words;
+  }
+  // And the advantage grows with payload size.
+  const double r_small = ps.cycles(gp.cycles_for_words(36)).us() /
+                         pl.cycles(acp.cycles_for_words(36)).us();
+  const double r_large = ps.cycles(gp.cycles_for_words(6336)).us() /
+                         pl.cycles(acp.cycles_for_words(6336)).us();
+  EXPECT_GT(r_large, r_small);
+  EXPECT_GT(r_large, 8.0);
+}
+
+TEST(Driver, DoubleBufferingHidesComputeBehindTransfers) {
+  const hw::WaveletEngineConfig engine;
+  driver::DriverCosts single;
+  single.double_buffering = false;
+  driver::DriverCosts dual;
+  dual.double_buffering = true;
+  driver::WaveletAccelerator a_single(engine, single);
+  driver::WaveletAccelerator a_dual(engine, dual);
+  const SimDuration t_single = a_single.line_time(102, 88, 2 * 44 + 14);
+  const SimDuration t_dual = a_dual.line_time(102, 88, 2 * 44 + 14);
+  EXPECT_LT(t_dual.sec(), t_single.sec());
+  EXPECT_LT(a_dual.stall_time().sec(), a_single.stall_time().sec());
+}
+
+TEST(Driver, InterruptCompletionCostsMoreThanPollingForShortLines) {
+  const hw::WaveletEngineConfig engine;
+  driver::DriverCosts poll;
+  driver::DriverCosts irq;
+  irq.completion = driver::CompletionMode::kInterrupt;
+  driver::WaveletAccelerator a_poll(engine, poll);
+  driver::WaveletAccelerator a_irq(engine, irq);
+  EXPECT_LT(a_poll.line_time(50, 36, 50).sec(), a_irq.line_time(50, 36, 50).sec());
+}
+
+TEST(Driver, GpPortTransferSlowsTheLineDown) {
+  const hw::WaveletEngineConfig engine;
+  driver::DriverCosts acp;
+  driver::DriverCosts gp;
+  gp.transfer = driver::TransferMode::kGpPort;
+  driver::WaveletAccelerator a_acp(engine, acp);
+  driver::WaveletAccelerator a_gp(engine, gp);
+  EXPECT_LT(a_acp.line_time(190, 176, 190).sec(), a_gp.line_time(190, 176, 190).sec());
+}
+
+TEST(Driver, AccumulatorsTrackLines) {
+  driver::WaveletAccelerator accel({}, {});
+  EXPECT_EQ(accel.lines(), 0);
+  accel.line_time(102, 88, 100);
+  accel.line_time(58, 44, 58);
+  EXPECT_EQ(accel.lines(), 2);
+  EXPECT_GT(accel.busy_time().sec(), 0.0);
+  accel.reset();
+  EXPECT_EQ(accel.lines(), 0);
+  EXPECT_DOUBLE_EQ(accel.busy_time().sec(), 0.0);
+}
+
+}  // namespace

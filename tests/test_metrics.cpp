@@ -1,0 +1,87 @@
+// Fusion-quality metric sanity checks.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.h"
+#include "src/image/metrics.h"
+
+namespace {
+
+using namespace vf;
+using image::ImageF;
+
+ImageF random_image(int rows, int cols, std::uint64_t seed) {
+  Rng rng(seed);
+  ImageF img(rows, cols);
+  for (std::size_t i = 0; i < img.size(); ++i) {
+    img.data()[i] = rng.next_float(0.0f, 1.0f);
+  }
+  return img;
+}
+
+TEST(Metrics, PsnrIsInfiniteForIdenticalImages) {
+  const ImageF img = random_image(16, 16, 1);
+  EXPECT_TRUE(std::isinf(image::psnr(img, img)));
+}
+
+TEST(Metrics, PsnrDropsWithNoise) {
+  const ImageF img = random_image(32, 32, 2);
+  ImageF small = img, large = img;
+  Rng rng(3);
+  for (std::size_t i = 0; i < img.size(); ++i) {
+    const float n = rng.next_float(-1.0f, 1.0f);
+    small.data()[i] += 0.001f * n;
+    large.data()[i] += 0.05f * n;
+  }
+  const double p_small = image::psnr(img, small);
+  const double p_large = image::psnr(img, large);
+  EXPECT_GT(p_small, p_large);
+  EXPECT_GT(p_small, 50.0);
+  EXPECT_LT(p_large, 40.0);
+}
+
+TEST(Metrics, EntropyBounds) {
+  const ImageF flat(16, 16, 0.5f);
+  EXPECT_NEAR(image::entropy(flat), 0.0, 1e-12);
+  const ImageF noisy = random_image(64, 64, 4);
+  const double h = image::entropy(noisy);
+  EXPECT_GT(h, 6.0);  // uniform noise over 256 bins
+  EXPECT_LE(h, 8.0 + 1e-9);
+}
+
+TEST(Metrics, MutualInformationSelfVsIndependent) {
+  // Large images keep the finite-sample bias of the 64x64 joint histogram
+  // well below the signal.
+  const ImageF a = random_image(128, 128, 5);
+  const ImageF b = random_image(128, 128, 6);
+  const double self_mi = image::mutual_information(a, a);
+  const double cross_mi = image::mutual_information(a, b);
+  EXPECT_GT(self_mi, 2.0);       // I(A;A) = H(A)
+  EXPECT_LT(cross_mi, 0.7);      // independent noise (plus histogram bias)
+  EXPECT_GT(self_mi, 2.0 * cross_mi);
+}
+
+TEST(Metrics, QabfRangeAndPerfectFusion) {
+  const ImageF a = random_image(32, 32, 7);
+  const ImageF b = random_image(32, 32, 8);
+  // Fused == one of the inputs: its edges are perfectly preserved, so the
+  // index is strictly positive and bounded by 1.
+  const double q = image::petrovic_qabf(a, b, a);
+  EXPECT_GT(q, 0.3);
+  EXPECT_LE(q, 1.0);
+  // A flat "fusion" preserves no gradients at all.
+  const ImageF flat(32, 32, 0.5f);
+  EXPECT_LT(image::petrovic_qabf(a, b, flat), q);
+}
+
+TEST(Metrics, EvaluateFusionBundlesAllThree) {
+  const ImageF a = random_image(24, 24, 9);
+  const ImageF b = random_image(24, 24, 10);
+  const auto q = image::evaluate_fusion(a, b, a);
+  EXPECT_GT(q.entropy_fused, 0.0);
+  EXPECT_GT(q.mi, 0.0);
+  EXPECT_GT(q.qabf, 0.0);
+}
+
+}  // namespace

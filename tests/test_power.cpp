@@ -1,0 +1,57 @@
+// Power model + sampled recorder methodology checks.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/power/recorder.h"
+
+namespace {
+
+using namespace vf;
+
+TEST(PowerModel, OperatingPointsMatchThePaper) {
+  const power::PowerModel pm;
+  const double arm = pm.system_power_mw(power::ComputeMode::kArmOnly);
+  const double neon = pm.system_power_mw(power::ComputeMode::kArmNeon);
+  const double fpga = pm.system_power_mw(power::ComputeMode::kArmFpga);
+  EXPECT_DOUBLE_EQ(arm, neon);  // NEON adds no measurable draw
+  EXPECT_NEAR(fpga - arm, 19.2, 1e-9);
+  // +19.2 mW is the paper's +3.6%.
+  EXPECT_NEAR(100.0 * (fpga - arm) / arm, 3.6, 0.05);
+}
+
+TEST(PowerModel, EnergyIsPowerTimesTime) {
+  const power::PowerModel pm;
+  const double mj = pm.energy_mj(power::ComputeMode::kArmOnly, SimDuration::seconds(2));
+  EXPECT_DOUBLE_EQ(mj, 2.0 * pm.system_power_mw(power::ComputeMode::kArmOnly));
+}
+
+TEST(PowerRecorder, SampledIntegralTracksExactWithinOnePeriod) {
+  const power::PowerModel pm;
+  power::PowerRecorder rec(pm, SimDuration::milliseconds(1));
+  rec.run_segment(/*pl_engine_active=*/true, SimDuration::seconds(1.0405));
+  const double exact = rec.exact_energy_mj();
+  const double sampled = rec.sampled_energy_mj();
+  EXPECT_GT(exact, 0.0);
+  // Error bounded by the tail (< one sampling period's worth of energy).
+  EXPECT_LE(std::fabs(exact - sampled),
+            pm.system_power_mw(power::ComputeMode::kArmFpga) * 1e-3 + 1e-9);
+  EXPECT_NEAR(sampled / exact, 1.0, 1e-3);
+}
+
+TEST(PowerRecorder, MixedSegmentsAccumulateBothIntegrals) {
+  const power::PowerModel pm;
+  power::PowerRecorder rec(pm, SimDuration::milliseconds(10));
+  rec.run_segment(false, SimDuration::milliseconds(25));
+  rec.run_segment(true, SimDuration::milliseconds(35));
+  const double expected_exact =
+      pm.system_power_mw(power::ComputeMode::kArmOnly) * 0.025 +
+      pm.system_power_mw(power::ComputeMode::kArmFpga) * 0.035;
+  EXPECT_NEAR(rec.exact_energy_mj(), expected_exact, 1e-9);
+  // 6 full periods sampled: 2 idle + 4 active (sample at each boundary).
+  EXPECT_GT(rec.sampled_energy_mj(), 0.0);
+  EXPECT_NEAR(rec.sampled_energy_mj(), expected_exact,
+              pm.system_power_mw(power::ComputeMode::kArmFpga) * 0.010);
+}
+
+}  // namespace

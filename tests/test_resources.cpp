@@ -1,0 +1,75 @@
+// Locks the Table I calibration of the resource model.
+#include <gtest/gtest.h>
+
+#include "src/hw/fixed_point.h"
+#include "src/hw/resources.h"
+
+namespace {
+
+using namespace vf;
+
+TEST(Resources, PaperConfigurationReproducesTableIExactly) {
+  const hw::DevicePart part;
+  const hw::ResourceUsage u = estimate_engine_resources(hw::paper_engine_config());
+  EXPECT_EQ(u.registers, 23412);
+  EXPECT_EQ(u.luts, 17405);
+  EXPECT_EQ(u.slices, 7890);
+  EXPECT_EQ(u.bufg, 3);
+  EXPECT_EQ(u.pct_registers(part), 22);
+  EXPECT_EQ(u.pct_luts(part), 32);
+  EXPECT_EQ(u.pct_slices(part), 59);
+  EXPECT_EQ(u.pct_bufg(part), 9);
+  EXPECT_EQ(u.dsp48, 0);  // the float datapath builds multipliers from logic
+}
+
+TEST(Resources, DevicePartIsTheZc702Fabric) {
+  const hw::DevicePart part;
+  EXPECT_EQ(part.name, "xc7z020clg484-1");
+  EXPECT_EQ(part.registers, 106400);
+  EXPECT_EQ(part.luts, 53200);
+  EXPECT_EQ(part.slices, 13300);
+}
+
+TEST(Resources, DeeperEngineCostsMore) {
+  hw::WaveletEngineConfig c12 = hw::paper_engine_config();
+  hw::WaveletEngineConfig c14 = c12;
+  c14.slots = 14;
+  const auto u12 = estimate_engine_resources(c12);
+  const auto u14 = estimate_engine_resources(c14);
+  EXPECT_GT(u14.registers, u12.registers);
+  EXPECT_GT(u14.luts, u12.luts);
+  EXPECT_GT(u14.slices, u12.slices);
+  // Still fits the part.
+  const hw::DevicePart part;
+  EXPECT_LT(u14.slices, part.slices);
+}
+
+TEST(Resources, DefaultConfigurationHasFourteenSlots) {
+  const hw::WaveletEngineConfig config;
+  EXPECT_EQ(config.slots, 14);  // needed for the q-shift filters
+  EXPECT_TRUE(config.dma_enabled);
+}
+
+TEST(Resources, FixedPointEngineTradesSlicesForDsp48) {
+  const hw::WaveletEngineConfig config = hw::paper_engine_config();
+  const auto f32 = estimate_engine_resources(config);
+  const auto q18 = estimate_engine_resources_fixed(config, {18, 15});
+  const auto q32 = estimate_engine_resources_fixed(config, {32, 24});
+  EXPECT_LT(q18.slices, f32.slices / 4);
+  EXPECT_GT(q18.dsp48, 0);
+  // Wide words need cascaded DSPs.
+  EXPECT_EQ(q32.dsp48, 2 * q18.dsp48);
+  const hw::DevicePart part;
+  EXPECT_LE(q32.dsp48, part.dsp48);
+}
+
+TEST(Resources, BramScalesWithBufferWords) {
+  hw::WaveletEngineConfig small = hw::paper_engine_config();
+  small.buffer_words = 512;
+  hw::WaveletEngineConfig large = hw::paper_engine_config();
+  large.buffer_words = 4096;
+  EXPECT_LT(estimate_engine_resources(small).bram36,
+            estimate_engine_resources(large).bram36);
+}
+
+}  // namespace

@@ -1,0 +1,72 @@
+// TextTable formatting and Rng determinism.
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/common/table.h"
+
+namespace {
+
+using namespace vf;
+
+TEST(TextTable, NumFormatsFixedDecimals) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(-0.5, 1), "-0.5");
+  EXPECT_EQ(TextTable::num(100.0, 0), "100");
+}
+
+TEST(TextTable, AlignsColumnsAndPadsShortRows) {
+  TextTable t({"name", "value"});
+  t.add_row({"a", "1.0"});
+  t.add_row({"long-name", "12.5"});
+  t.add_row({"partial"});  // missing cell is padded
+  const std::string s = t.to_string();
+  // Header + separator + 3 rows.
+  int newlines = 0;
+  for (char c : s) newlines += c == '\n';
+  EXPECT_EQ(newlines, 5);
+  // Every line has the same width.
+  std::size_t first_len = s.find('\n');
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    const std::size_t next = s.find('\n', pos);
+    EXPECT_EQ(next - pos, first_len);
+    pos = next + 1;
+  }
+  EXPECT_EQ(t.row_count(), 3u);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, FloatRangeIsRespected) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const float v = rng.next_float(-2.5f, 4.0f);
+    EXPECT_GE(v, -2.5f);
+    EXPECT_LT(v, 4.0f);
+  }
+}
+
+TEST(Rng, RoughlyUniform) {
+  Rng rng(99);
+  int buckets[10] = {};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    buckets[rng.next_index(10)] += 1;
+  }
+  for (int count : buckets) {
+    EXPECT_NEAR(count, n / 10, n / 100);
+  }
+}
+
+TEST(Rng, ZeroSeedDoesNotDegenerate) {
+  Rng rng(0);
+  EXPECT_NE(rng.next_u64(), 0u);
+  EXPECT_NE(rng.next_u64(), rng.next_u64());
+}
+
+}  // namespace
