@@ -6,23 +6,25 @@
 // workloads, exactly the regime where the paper shows the FPGA losing.
 #include "bench/bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vf;
   using namespace vf::bench;
+
+  const BenchOptions options = parse_bench_options(argc, argv);
 
   print_header("Ablation A3 — adaptive NEON/FPGA selection",
                "§VIII: \"an adaptive system that intelligently selects between the "
                "NEON engine and the FPGA\"");
 
   // Threshold sweep at the full frame size.
-  std::printf("threshold sweep at 88x72 (10 frames):\n");
+  std::printf("threshold sweep at 88x72 (%d frames):\n", options.frames);
   TextTable sweep({"threshold (samples)", "total (s)", "energy (mJ)", "lines FPGA",
                    "lines NEON"});
   for (int threshold : {0, 24, 36, 44, 64, 96, 1 << 20}) {
-    sched::AdaptiveBackend::Options options;
-    options.threshold_samples = threshold;
-    sched::AdaptiveBackend backend(options);
-    const auto r = probe_backend(backend, {88, 72}, kPaperFrameCount);
+    sched::AdaptiveBackend::Options adaptive_options;
+    adaptive_options.threshold_samples = threshold;
+    sched::AdaptiveBackend backend(adaptive_options);
+    const auto r = probe_backend(backend, {88, 72}, options.frames);
     const std::string label =
         threshold >= (1 << 20) ? "inf (all NEON)" : std::to_string(threshold);
     sweep.add_row({label, TextTable::num(r.total.sec(), 3),
@@ -33,13 +35,14 @@ int main() {
   std::printf("%s\n", sweep.to_string().c_str());
 
   // Adaptive vs static across sizes.
-  std::printf("adaptive (default threshold) vs static engines (10 frames):\n");
+  std::printf("adaptive (default threshold) vs static engines (%d frames):\n",
+              options.frames);
   TextTable table({"frame size", "NEON (s)", "FPGA (s)", "Adaptive (s)",
                    "vs best static", "NEON (mJ)", "FPGA (mJ)", "Adaptive (mJ)"});
   for (const sched::FrameSize& size : sched::paper_frame_sizes()) {
-    const auto rn = run_probe(EngineChoice::kNeon, size);
-    const auto rf = run_probe(EngineChoice::kFpga, size);
-    const auto ra = run_probe(EngineChoice::kAdaptive, size);
+    const auto rn = run_probe(EngineChoice::kNeon, size, options.frames);
+    const auto rf = run_probe(EngineChoice::kFpga, size, options.frames);
+    const auto ra = run_probe(EngineChoice::kAdaptive, size, options.frames);
     const double best = std::min(rn.total.sec(), rf.total.sec());
     table.add_row({size.label(), TextTable::num(rn.total.sec(), 3),
                    TextTable::num(rf.total.sec(), 3), TextTable::num(ra.total.sec(), 3),

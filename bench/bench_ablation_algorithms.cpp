@@ -43,9 +43,12 @@ double shift_instability(const ImageF& a, const ImageF& b, FuseFn fuse_fn) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vf;
   using namespace vf::bench;
+
+  const BenchOptions options = parse_bench_options(argc, argv);
+  note_frames_unused(options, "single-frame quality comparison");
 
   print_header("Ablation A6 — DT-CWT vs DWT vs Laplacian pyramid fusion",
                "§I/§III: algorithm choice rationale (references [2][3][4][12])");

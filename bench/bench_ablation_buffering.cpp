@@ -9,9 +9,11 @@
 // disabled and reports the end-to-end difference per frame size.
 #include "bench/bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vf;
   using namespace vf::bench;
+
+  const BenchOptions options = parse_bench_options(argc, argv);
 
   print_header("Ablation A2 — double buffering (Fig. 5) on vs off",
                "§V / Fig. 5: overlap of user-space transfer and PL processing");
@@ -26,8 +28,8 @@ int main() {
 
     sched::FpgaBackend fpga_single({}, single);
     sched::FpgaBackend fpga_dual({}, dual);
-    const auto rs = probe_backend(fpga_single, size, kPaperFrameCount);
-    const auto rd = probe_backend(fpga_dual, size, kPaperFrameCount);
+    const auto rs = probe_backend(fpga_single, size, options.frames);
+    const auto rd = probe_backend(fpga_dual, size, options.frames);
     const SimDuration stall_s = fpga_single.accelerator().stall_time();
     const SimDuration stall_d = fpga_dual.accelerator().stall_time();
 

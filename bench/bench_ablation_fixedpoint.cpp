@@ -9,9 +9,12 @@
 #include "src/hw/fixed_point.h"
 #include "src/image/metrics.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vf;
   using namespace vf::bench;
+
+  const BenchOptions options = parse_bench_options(argc, argv);
+  note_frames_unused(options, "single-frame quality ablation");
 
   print_header("Ablation A7 — fixed-point engine datapath vs the paper's float32",
                "Table I (float engine cost) + Fig. 4 data_t choice");

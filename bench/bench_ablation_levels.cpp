@@ -9,9 +9,11 @@
 // backend keeps the deep levels on NEON.
 #include "bench/bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vf;
   using namespace vf::bench;
+
+  const BenchOptions options = parse_bench_options(argc, argv);
 
   print_header("Ablation A8 — DT-CWT decomposition level sweep at 88x72",
                "§VII: \"the decomposition level of the CT-DWT was varied\"");
@@ -26,10 +28,10 @@ int main() {
     sched::NeonBackend neon;
     sched::FpgaBackend fpga;
     sched::AdaptiveBackend adaptive;
-    const auto ra = probe_backend(arm, {88, 72}, kPaperFrameCount, config);
-    const auto rn = probe_backend(neon, {88, 72}, kPaperFrameCount, config);
-    const auto rf = probe_backend(fpga, {88, 72}, kPaperFrameCount, config);
-    const auto rx = probe_backend(adaptive, {88, 72}, kPaperFrameCount, config);
+    const auto ra = probe_backend(arm, {88, 72}, options.frames, config);
+    const auto rn = probe_backend(neon, {88, 72}, options.frames, config);
+    const auto rf = probe_backend(fpga, {88, 72}, options.frames, config);
+    const auto rx = probe_backend(adaptive, {88, 72}, options.frames, config);
 
     table.add_row({std::to_string(levels), TextTable::num(ra.total.sec(), 3),
                    TextTable::num(rn.total.sec(), 3), TextTable::num(rf.total.sec(), 3),

@@ -8,9 +8,12 @@
 #include "src/fusion/fuse.h"
 #include "src/hw/resources.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vf;
   using namespace vf::bench;
+
+  const BenchOptions options = parse_bench_options(argc, argv);
+  note_frames_unused(options, "single-frame engine-fit ablation");
 
   print_header("Ablation A4 — engine register depth vs resources and filters",
                "§V Fig. 4 (12-deep shift register) + Table I");

@@ -11,9 +11,11 @@
 #include "src/hw/axi.h"
 #include "src/hw/clock.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vf;
   using namespace vf::bench;
+
+  const BenchOptions options = parse_bench_options(argc, argv);
 
   print_header("Ablation A1 — GP-port CPU transfers vs ACP DMA bursts",
                "§V: GP ports need ~25 CPU cycles per 32-bit word");
@@ -65,9 +67,9 @@ int main() {
     sched::FpgaBackend acp_poll({}, paper_costs);
     sched::FpgaBackend acp_irq({}, irq_costs);
     sched::FpgaBackend gp_poll(gp_engine, gp_costs);
-    const auto r_paper = probe_backend(acp_poll, size, kPaperFrameCount);
-    const auto r_irq = probe_backend(acp_irq, size, kPaperFrameCount);
-    const auto r_gp = probe_backend(gp_poll, size, kPaperFrameCount);
+    const auto r_paper = probe_backend(acp_poll, size, options.frames);
+    const auto r_irq = probe_backend(acp_irq, size, options.frames);
+    const auto r_gp = probe_backend(gp_poll, size, options.frames);
     e2e.add_row({size.label(), TextTable::num(r_paper.total.sec(), 3),
                  TextTable::num(r_irq.total.sec(), 3),
                  TextTable::num(r_gp.total.sec(), 3),

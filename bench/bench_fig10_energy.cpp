@@ -9,11 +9,14 @@
 #include "bench/bench_util.h"
 #include "src/power/recorder.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vf;
   using namespace vf::bench;
 
-  print_header("Fig. 10 — total energy vs frame size (10 frames, mJ)",
+  const BenchOptions options = parse_bench_options(argc, argv);
+
+  print_header("Fig. 10 — total energy vs frame size (" +
+               std::to_string(options.frames) + " frames, mJ)",
                "Fig. 10; §VII text: -46.3% ARM+FPGA / -8% ARM+NEON at 88x72, "
                "break point between 40x40 and 64x48");
 
@@ -29,10 +32,10 @@ int main() {
   // of re-running them (probes are deterministic).
   sched::ProbeResult arm88, neon88, fpga88;
   for (const sched::FrameSize& size : sched::paper_frame_sizes()) {
-    const auto arm = run_probe(EngineChoice::kArm, size);
-    const auto neon = run_probe(EngineChoice::kNeon, size);
-    const auto fpga = run_probe(EngineChoice::kFpga, size);
-    const auto adaptive = run_probe(EngineChoice::kAdaptive, size);
+    const auto arm = run_probe(EngineChoice::kArm, size, options.frames);
+    const auto neon = run_probe(EngineChoice::kNeon, size, options.frames);
+    const auto fpga = run_probe(EngineChoice::kFpga, size, options.frames);
+    const auto adaptive = run_probe(EngineChoice::kAdaptive, size, options.frames);
     const char* best = fpga.energy_mj < neon.energy_mj ? "ARM+FPGA" : "ARM+NEON";
     table.add_row({size.label(), TextTable::num(arm.energy_mj, 1),
                    TextTable::num(neon.energy_mj, 1), TextTable::num(fpga.energy_mj, 1),

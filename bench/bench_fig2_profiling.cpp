@@ -6,9 +6,12 @@
 // acceleration targets.
 #include "bench/bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vf;
   using namespace vf::bench;
+
+  const BenchOptions options = parse_bench_options(argc, argv);
+  note_frames_unused(options, "profiles a single frame pair");
 
   print_header("Fig. 2 — profile of the fusion process (ARM only, 88x72)",
                "Fig. 2: forward/inverse DT-CWT are the most compute-intensive tasks");

@@ -6,19 +6,22 @@
 // at 32x24; crossover between 35x35 and 40x40.
 #include "bench/bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vf;
   using namespace vf::bench;
 
-  print_header("Fig. 9(a) — forward DT-CWT time vs frame size (10 frames, seconds)",
+  const BenchOptions options = parse_bench_options(argc, argv);
+
+  print_header("Fig. 9(a) — forward DT-CWT time vs frame size (" +
+                   std::to_string(options.frames) + " frames, seconds)",
                "Fig. 9(a); §VII text: -55.6% FPGA / -10% NEON at 88x72");
 
   TextTable table({"frame size", "ARM fwd (s)", "NEON fwd (s)", "FPGA fwd (s)",
                    "FPGA vs ARM", "best"});
   for (const sched::FrameSize& size : sched::paper_frame_sizes()) {
-    const auto arm = run_probe(EngineChoice::kArm, size);
-    const auto neon = run_probe(EngineChoice::kNeon, size);
-    const auto fpga = run_probe(EngineChoice::kFpga, size);
+    const auto arm = run_probe(EngineChoice::kArm, size, options.frames);
+    const auto neon = run_probe(EngineChoice::kNeon, size, options.frames);
+    const auto fpga = run_probe(EngineChoice::kFpga, size, options.frames);
     const double vs_arm = 100.0 * (1.0 - fpga.forward.sec() / arm.forward.sec());
     const char* best = fpga.forward < neon.forward ? "FPGA" : "NEON";
     table.add_row({size.label(), TextTable::num(arm.forward.sec(), 3),

@@ -5,20 +5,23 @@
 // configuration. Paper reference at 88x72: ARM+FPGA -48.1%, ARM+NEON -8%.
 #include "bench/bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vf;
   using namespace vf::bench;
 
-  print_header("Fig. 9(b) — total time vs frame size (10 frames, seconds)",
+  const BenchOptions options = parse_bench_options(argc, argv);
+
+  print_header("Fig. 9(b) — total time vs frame size (" +
+                   std::to_string(options.frames) + " frames, seconds)",
                "Fig. 9(b); §VII text: -48.1% ARM+FPGA / -8% ARM+NEON at 88x72");
 
   TextTable table({"frame size", "ARM Only (s)", "ARM+NEON (s)", "ARM+FPGA (s)",
                    "Adaptive (s)", "best static"});
   for (const sched::FrameSize& size : sched::paper_frame_sizes()) {
-    const auto arm = run_probe(EngineChoice::kArm, size);
-    const auto neon = run_probe(EngineChoice::kNeon, size);
-    const auto fpga = run_probe(EngineChoice::kFpga, size);
-    const auto adaptive = run_probe(EngineChoice::kAdaptive, size);
+    const auto arm = run_probe(EngineChoice::kArm, size, options.frames);
+    const auto neon = run_probe(EngineChoice::kNeon, size, options.frames);
+    const auto fpga = run_probe(EngineChoice::kFpga, size, options.frames);
+    const auto adaptive = run_probe(EngineChoice::kAdaptive, size, options.frames);
     const char* best = fpga.total < neon.total ? "ARM+FPGA" : "ARM+NEON";
     table.add_row({size.label(), TextTable::num(arm.total.sec(), 3),
                    TextTable::num(neon.total.sec(), 3),

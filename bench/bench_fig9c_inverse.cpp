@@ -5,19 +5,22 @@
 // NEON at 35x35 and 32x24.
 #include "bench/bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vf;
   using namespace vf::bench;
 
-  print_header("Fig. 9(c) — inverse DT-CWT time vs frame size (10 frames, seconds)",
+  const BenchOptions options = parse_bench_options(argc, argv);
+
+  print_header("Fig. 9(c) — inverse DT-CWT time vs frame size (" +
+                   std::to_string(options.frames) + " frames, seconds)",
                "Fig. 9(c); §VII text: -60.6% FPGA / -16% NEON at 88x72");
 
   TextTable table({"frame size", "ARM inv (s)", "NEON inv (s)", "FPGA inv (s)",
                    "FPGA vs ARM", "best"});
   for (const sched::FrameSize& size : sched::paper_frame_sizes()) {
-    const auto arm = run_probe(EngineChoice::kArm, size);
-    const auto neon = run_probe(EngineChoice::kNeon, size);
-    const auto fpga = run_probe(EngineChoice::kFpga, size);
+    const auto arm = run_probe(EngineChoice::kArm, size, options.frames);
+    const auto neon = run_probe(EngineChoice::kNeon, size, options.frames);
+    const auto fpga = run_probe(EngineChoice::kFpga, size, options.frames);
     const double vs_arm = 100.0 * (1.0 - fpga.inverse.sec() / arm.inverse.sec());
     const char* best = fpga.inverse < neon.inverse ? "FPGA" : "NEON";
     table.add_row({size.label(), TextTable::num(arm.inverse.sec(), 3),

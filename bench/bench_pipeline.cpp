@@ -1,0 +1,117 @@
+// Event-queue pipeline bench: batched double buffering + frame pipelining.
+//
+// The paper's Fig. 5 overlaps buffer-A processing with buffer-B filling for
+// one line; the seed model charged time additively per line, so the
+// ~12k-cycle driver entry was paid per line and frame-level PS/PL overlap
+// could not be expressed. This bench sweeps frame size x backend x
+// frame-depth on the Timeline-based schedule and reports:
+//
+//   1. the FPGA *time break point* with transfer-granularity double
+//      buffering (batched line submission into the 2048-word buffers) —
+//      the serial model's break sits between 35x35 and 40x40, the batched
+//      schedule moves it left of 35x35;
+//   2. sustained fps and energy/frame with the 4-stage frame pipeline
+//      (prep | forward | fusion | inverse) against the serial runner;
+//   3. how the speedup builds with frame depth (pipeline fill amortization).
+//
+// Flags (shared with every bench): --frames N, --pipeline. The smoke run
+// under ctest uses the defaults; --frames raises the sweep depth.
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace vf;
+  using namespace vf::bench;
+
+  const BenchOptions options = parse_bench_options(argc, argv);
+
+  print_header("Pipelined schedule — batched double buffering + frame overlap",
+               "Fig. 5 schedule at transfer granularity; ROADMAP items 1-2");
+
+  // --- 1: time break point, serial ledger vs batched event queue ------------
+  std::printf("[1] FPGA time break point (%d frames, total seconds)\n\n",
+              options.frames);
+  TextTable breaks({"frame size", "NEON (s)", "FPGA serial (s)", "FPGA+batch (s)",
+                    "batch vs serial", "best engine"});
+  std::string first_fpga_win = "none";
+  for (const sched::FrameSize& size : sched::paper_frame_sizes()) {
+    const auto neon = run_probe(EngineChoice::kNeon, size, options.frames);
+    const auto serial = run_probe(EngineChoice::kFpga, size, options.frames);
+    const auto batched = run_probe(EngineChoice::kFpgaBatched, size, options.frames);
+    const bool fpga_wins = batched.total < neon.total;
+    if (fpga_wins && first_fpga_win == "none") first_fpga_win = size.label();
+    breaks.add_row({size.label(), TextTable::num(neon.total.sec(), 3),
+                    TextTable::num(serial.total.sec(), 3),
+                    TextTable::num(batched.total.sec(), 3),
+                    TextTable::num(100.0 * (1.0 - batched.total / serial.total), 1) + "%",
+                    fpga_wins ? "FPGA+batch" : "NEON"});
+  }
+  std::printf("%s\n", breaks.to_string().c_str());
+  std::printf("batching lines into the 2048-word kernel buffers amortizes the\n"
+              "~12k-cycle driver entry; the FPGA time break point moves from\n"
+              "between 35x35 and 40x40 (serial ledger) to %s.\n\n",
+              first_fpga_win.c_str());
+
+  // --- 2: frame pipeline, sustained fps and energy/frame --------------------
+  std::printf("[2] 4-stage frame pipeline at depth %d (sustained fps)\n\n",
+              options.frames);
+  TextTable fps({"frame size", "engine", "serial fps", "pipelined fps", "speedup",
+                 "mJ/frame serial", "mJ/frame pipelined"});
+  const EngineChoice engines[] = {EngineChoice::kNeon, EngineChoice::kFpga,
+                                  EngineChoice::kFpgaBatched,
+                                  EngineChoice::kAdaptive};
+  double serial_fpga_fps_full = 0.0, piped_batch_fps_full = 0.0;
+  for (const sched::FrameSize& size : sched::paper_frame_sizes()) {
+    for (EngineChoice choice : engines) {
+      // One overlapped run per cell: run_pipelined also reports the additive
+      // serial total, so the serial row needs no second fusion pass.
+      sched::PipelineRunResult piped;
+      double serial_mj_frame = 0.0;
+      with_backend(choice, [&](sched::TransformBackend& b) {
+        piped = sched::probe_pipelined(b, size, options.frames);
+        serial_mj_frame = power::PowerModel().energy_mj(b.compute_mode(),
+                                                        piped.serial_total) /
+                          options.frames;
+      });
+      const double serial_fps = options.frames / piped.serial_total.sec();
+      if (size.width == 88 && size.height == 72) {
+        if (choice == EngineChoice::kFpga) serial_fpga_fps_full = serial_fps;
+        if (choice == EngineChoice::kFpgaBatched) {
+          piped_batch_fps_full = piped.sustained_fps;
+        }
+      }
+      fps.add_row({size.label(), engine_label(choice),
+                   TextTable::num(serial_fps, 1),
+                   TextTable::num(piped.sustained_fps, 1),
+                   TextTable::num(piped.speedup_vs_serial(), 2) + "x",
+                   TextTable::num(serial_mj_frame, 2),
+                   TextTable::num(piped.energy_per_frame_mj(), 2)});
+    }
+  }
+  std::printf("%s\n", fps.to_string().c_str());
+  std::printf("CPU-only engines cannot overlap (every stage needs the PS core);\n"
+              "the FPGA engines overlap frame N's PL transform with frame N-1's\n"
+              "fusion rule and frame N+1's prep on the PS.\n"
+              "at 88x72 the pipelined FPGA+batch schedule sustains %.1f fps vs the\n"
+              "serial runner's %.1f fps on the FPGA engine: %.1fx.\n\n",
+              piped_batch_fps_full, serial_fpga_fps_full,
+              serial_fpga_fps_full > 0.0 ? piped_batch_fps_full / serial_fpga_fps_full
+                                         : 0.0);
+
+  // --- 3: speedup vs frame depth at the full frame ---------------------------
+  std::printf("[3] pipeline fill amortization, FPGA+batch at 88x72\n\n");
+  TextTable depth({"frames in flight", "serial (s)", "pipelined (s)", "speedup",
+                   "sustained fps"});
+  for (int frames : {1, 2, 4, 8, options.frames}) {
+    sched::BatchedFpgaBackend backend;
+    const auto piped = sched::probe_pipelined(backend, {88, 72}, frames);
+    depth.add_row({std::to_string(frames),
+                   TextTable::num(piped.serial_total.sec(), 3),
+                   TextTable::num(piped.makespan.sec(), 3),
+                   TextTable::num(piped.speedup_vs_serial(), 2) + "x",
+                   TextTable::num(piped.sustained_fps, 1)});
+  }
+  std::printf("%s\n", depth.to_string().c_str());
+  std::printf("a single frame cannot pipeline (speedup 1.00x); the win saturates\n"
+              "once the fill and drain slots amortize over the frame stream.\n");
+  return 0;
+}

@@ -5,24 +5,42 @@
 // frame rate of 25 frame/s"). This bench reports the frame rate each
 // configuration sustains at each frame size on the modeled ZC702, and which
 // combinations clear the 25 fps / 30 fps bars.
+//
+// Flags (shared with every bench): --frames N sets the probe depth;
+// --pipeline reports the event-queue pipelined schedule (batched double
+// buffering + frame overlap, see bench_pipeline) instead of the serial
+// additive ledger.
 #include "bench/bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vf;
   using namespace vf::bench;
 
-  print_header("Real-time capability — sustained fusion frame rate (fps)",
+  const BenchOptions options = parse_bench_options(argc, argv);
+
+  print_header(std::string("Real-time capability — sustained fusion frame rate") +
+                   (options.pipeline ? " (pipelined schedule)" : " (fps)"),
                "related work's 25/30 fps bars (§II references [6][8])");
 
-  TextTable table({"frame size", "ARM fps", "NEON fps", "FPGA fps", "Adaptive fps",
+  const EngineChoice engines[] = {EngineChoice::kArm, EngineChoice::kNeon,
+                                  options.pipeline ? EngineChoice::kFpgaBatched
+                                                   : EngineChoice::kFpga,
+                                  EngineChoice::kAdaptive};
+  TextTable table({"frame size", "ARM fps", "NEON fps",
+                   options.pipeline ? "FPGA+batch fps" : "FPGA fps", "Adaptive fps",
                    "25 fps capable", "30 fps capable"});
   for (const sched::FrameSize& size : sched::paper_frame_sizes()) {
     double fps[4] = {};
-    const EngineChoice engines[] = {EngineChoice::kArm, EngineChoice::kNeon,
-                                    EngineChoice::kFpga, EngineChoice::kAdaptive};
     for (int i = 0; i < 4; ++i) {
-      const auto r = run_probe(engines[i], size);
-      fps[i] = kPaperFrameCount / r.total.sec();
+      if (options.pipeline) {
+        with_backend(engines[i], [&](sched::TransformBackend& backend) {
+          fps[i] = sched::probe_pipelined(backend, size, options.frames)
+                       .sustained_fps;
+        });
+      } else {
+        const auto r = run_probe(engines[i], size, options.frames);
+        fps[i] = options.frames / r.total.sec();
+      }
     }
     auto capable = [&](double bar) {
       std::string out;
@@ -39,9 +57,15 @@ int main() {
                    capable(30.0)});
   }
   std::printf("%s\n", table.to_string().c_str());
-  std::printf("the paper's own absolute times imply ~5 fps on the ARM at the full\n"
-              "88x72 frame; acceleration nearly doubles that (9.6 fps) but true video\n"
-              "rate at 88x72 would need roughly another 3x — visible here as the\n"
-              "25/30 fps bars being cleared only at the small extraction sizes.\n");
+  if (options.pipeline) {
+    std::printf("with batched line submission and the 4-stage frame pipeline the\n"
+                "FPGA clears both video-rate bars at every size including 88x72 —\n"
+                "the \"roughly another 3x\" the serial schedule was missing.\n");
+  } else {
+    std::printf("the paper's own absolute times imply ~5 fps on the ARM at the full\n"
+                "88x72 frame; acceleration nearly doubles that (9.6 fps) but true video\n"
+                "rate at 88x72 would need roughly another 3x — visible here as the\n"
+                "25/30 fps bars being cleared only at the small extraction sizes.\n");
+  }
   return 0;
 }

@@ -6,9 +6,12 @@
 #include "bench/bench_util.h"
 #include "src/hw/resources.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vf;
   using namespace vf::bench;
+
+  const BenchOptions options = parse_bench_options(argc, argv);
+  note_frames_unused(options, "resource table, no timed probe");
 
   print_header("Table I — wavelet engine implementation complexity",
                "Table I: Registers 23412/22%, LUTs 17405/32%, Slices 7890/59%, BUFG 3/9%");

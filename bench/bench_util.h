@@ -9,6 +9,8 @@
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <functional>
 #include <string>
 #include <vector>
@@ -16,13 +18,55 @@
 #include "src/common/table.h"
 #include "src/sched/adaptive.h"
 #include "src/sched/calibrate.h"
+#include "src/sched/pipeline.h"
 
 namespace vf::bench {
 
 inline constexpr int kPaperFrameCount = 10;  // "10 input frames were decomposed,
                                              // fused and reconstructed continuously"
 
-enum class EngineChoice { kArm, kNeon, kFpga, kAdaptive };
+// CLI options shared by every bench binary so `bench_realtime` and
+// `bench_pipeline` (and any future bench) parse identically:
+//
+//   --frames N    frames per probe run (default: the paper's 10)
+//   --pipeline    enable the frame-level event-queue pipeline where the
+//                 bench supports it (ignored otherwise)
+struct BenchOptions {
+  int frames = kPaperFrameCount;
+  bool pipeline = false;
+};
+
+inline BenchOptions parse_bench_options(int argc, char** argv) {
+  BenchOptions options;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--frames") == 0 && i + 1 < argc) {
+      options.frames = std::atoi(argv[++i]);
+      if (options.frames < 1) {
+        std::fprintf(stderr, "--frames wants a positive count, got '%s'\n", argv[i]);
+        std::exit(2);
+      }
+    } else if (std::strcmp(argv[i], "--pipeline") == 0) {
+      options.pipeline = true;
+    } else {
+      std::fprintf(stderr,
+                   "unknown argument '%s' (supported: --frames N, --pipeline)\n",
+                   argv[i]);
+      std::exit(2);
+    }
+  }
+  return options;
+}
+
+// For benches with no frame-stream probe (single-frame quality ablations,
+// the resource table): makes --frames loudly inert instead of silently
+// ignored.
+inline void note_frames_unused(const BenchOptions& options, const char* reason) {
+  if (options.frames != kPaperFrameCount) {
+    std::fprintf(stderr, "note: --frames has no effect here (%s)\n", reason);
+  }
+}
+
+enum class EngineChoice { kArm, kNeon, kFpga, kFpgaBatched, kAdaptive };
 
 inline const char* engine_label(EngineChoice e) {
   switch (e) {
@@ -32,6 +76,8 @@ inline const char* engine_label(EngineChoice e) {
       return "NEON";
     case EngineChoice::kFpga:
       return "FPGA";
+    case EngineChoice::kFpgaBatched:
+      return "FPGA+batch";
     case EngineChoice::kAdaptive:
       return "Adaptive";
   }
@@ -54,6 +100,11 @@ inline void with_backend(EngineChoice choice,
     }
     case EngineChoice::kFpga: {
       sched::FpgaBackend b;
+      fn(b);
+      return;
+    }
+    case EngineChoice::kFpgaBatched: {
+      sched::BatchedFpgaBackend b;
       fn(b);
       return;
     }

@@ -1,0 +1,80 @@
+// Discrete-event timeline for the modeled ZC702.
+//
+// The additive SimDuration ledger (src/common/sim_time.h) charges every cost
+// sequentially, so concurrency between the PS, the PL engine, and the DMA
+// channel can never be expressed — exactly the limitation that hid the
+// paper's Fig. 5 schedule (buffer A processes while buffer B fills) and any
+// frame-level PS/PL overlap. The Timeline replaces assumption with
+// computation: named resources, events with absolute start/end timestamps,
+// and greedy earliest-start scheduling (an event starts at
+// max(ready, resource-free)), so overlap falls out of the event graph.
+//
+// Timestamps are SimDurations measured from the timeline's t=0; everything
+// is deterministic — same schedule calls, same events, on any host
+// (tests/test_timeline.cpp locks this across runs).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/sim_time.h"
+
+namespace vf {
+
+using ResourceId = int;
+
+class Timeline {
+ public:
+  struct Event {
+    ResourceId resource = 0;
+    std::string label;
+    SimDuration start, end;
+    SimDuration duration() const { return end - start; }
+  };
+
+  // Registers a schedulable resource (e.g. "PS core", "PL engine",
+  // "ACP DMA"). Ids are dense and assigned in call order.
+  ResourceId add_resource(std::string name);
+
+  int resource_count() const { return static_cast<int>(resources_.size()); }
+  const std::string& resource_name(ResourceId r) const { return resources_[r].name; }
+
+  // Schedules a task on `r` that may not start before `ready`; it starts at
+  // max(ready, the resource's free time) and occupies the resource for
+  // `duration`. Returns the placed event (with resolved start/end).
+  Event schedule(ResourceId r, std::string label, SimDuration ready,
+                 SimDuration duration);
+
+  // Earliest time a new event could start on `r` (ignoring ready deps).
+  SimDuration free_at(ResourceId r) const { return resources_[r].free_at; }
+
+  // Sum of event durations on `r` (idle gaps excluded).
+  SimDuration busy_time(ResourceId r) const { return resources_[r].busy; }
+
+  // End of the latest event across all resources (0 when empty).
+  SimDuration makespan() const { return makespan_; }
+
+  const std::vector<Event>& events() const { return events_; }
+
+  // Merged busy intervals of the given resources, sorted by start time, with
+  // overlapping/adjacent intervals coalesced. This is the power-integration
+  // view: during any merged interval at least one of the resources is
+  // active, so a per-interval draw is charged once, not once per resource.
+  std::vector<std::pair<SimDuration, SimDuration>> busy_intervals(
+      const std::vector<ResourceId>& resources) const;
+
+  void clear();
+
+ private:
+  struct Resource {
+    std::string name;
+    SimDuration free_at;
+    SimDuration busy;
+  };
+  std::vector<Resource> resources_;
+  std::vector<Event> events_;
+  SimDuration makespan_;
+};
+
+}  // namespace vf

@@ -291,6 +291,7 @@ LevelOut analyze_level(const ImageF& padded, const FilterBank& row_bank,
   for (int r = 0; r < rp; ++r) {
     analyze_line(f, row_bank, padded.row(r), cp, rowlo.row(r), rowhi.row(r), scratch);
   }
+  f.barrier();  // the column pass reads the row pass's outputs
   LevelOut out;
   out.ll = ImageF(rp / 2, cp / 2);
   out.lh = ImageF(rp / 2, cp / 2);
@@ -311,6 +312,7 @@ LevelOut analyze_level(const ImageF& padded, const FilterBank& row_bank,
       out.hh(r, c) = hi[r];
     }
   }
+  f.barrier();  // the next level (or consumer) reads this level's outputs
   return out;
 }
 
@@ -337,12 +339,14 @@ ImageF synthesize_level(const ImageF& ll, const LevelBands& bands,
     synthesize_line(f, col_bank, lo.data(), hi.data(), rp, col.data(), scratch);
     for (int r = 0; r < rp; ++r) rowhi(r, c) = col[r];
   }
+  f.barrier();  // the row pass reads the column pass's outputs
   const int cp = cp2 * 2;
   ImageF padded(rp, cp);
   for (int r = 0; r < rp; ++r) {
     synthesize_line(f, row_bank, rowlo.row(r), rowhi.row(r), cp, padded.row(r),
                     scratch);
   }
+  f.barrier();  // the next (shallower) level reads this reconstruction
   // Crop back to the pre-padding size of this level.
   if (bands.in_rows == rp && bands.in_cols == cp) return padded;
   ImageF out(bands.in_rows, bands.in_cols);

@@ -74,6 +74,14 @@ class LineFilter {
  public:
   virtual ~LineFilter() = default;
 
+  // Data-dependency fence between line batches: lines issued after the
+  // barrier read outputs of lines issued before it (row pass -> column
+  // pass, level L -> level L+1). Synchronous filters need nothing — the
+  // default is a no-op — but pipelined engine models (which overlap
+  // consecutive line requests) must not start a dependent input transfer
+  // before the producing outputs have landed.
+  virtual void barrier() {}
+
   virtual void analyze(const float* ext, int out_len, const float* lp, const float* hp,
                        int taps, float* lo, float* hi) = 0;
   virtual void synthesize(const float* ext, int pairs, const float* ca, const float* cb,

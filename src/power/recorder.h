@@ -9,7 +9,10 @@
 // methodology's error.
 #pragma once
 
+#include <vector>
+
 #include "src/common/sim_time.h"
+#include "src/common/timeline.h"
 
 namespace vf::power {
 
@@ -58,8 +61,12 @@ class PowerRecorder {
       : model_(model), period_(period) {}
 
   void run_segment(bool pl_engine_active, SimDuration duration) {
-    const double mw = model_.system_power_mw(pl_engine_active ? ComputeMode::kArmFpga
-                                                              : ComputeMode::kArmOnly);
+    run_segment(pl_engine_active ? ComputeMode::kArmFpga : ComputeMode::kArmOnly,
+                duration);
+  }
+
+  void run_segment(ComputeMode mode, SimDuration duration) {
+    const double mw = model_.system_power_mw(mode);
     exact_mj_ += mw * duration.sec();
     double remaining = duration.sec();
     while (remaining > 0.0) {
@@ -72,6 +79,26 @@ class PowerRecorder {
         into_period_ = 0.0;
       }
     }
+  }
+
+  // Integrates mode power against a timeline instead of summed durations:
+  // the run is replayed in timestamp order, charging `active` power during
+  // the merged busy intervals of `pl_resources` and `idle` power in the
+  // gaps. Because intervals are merged before integration, PS and PL being
+  // concurrently active charges the engine's +3.6% system draw once —
+  // the additive ledger would have charged it per overlapping segment.
+  void run_timeline(const Timeline& timeline,
+                    const std::vector<ResourceId>& pl_resources,
+                    ComputeMode idle = ComputeMode::kArmOnly,
+                    ComputeMode active = ComputeMode::kArmFpga) {
+    SimDuration cursor;
+    for (const auto& [start, end] : timeline.busy_intervals(pl_resources)) {
+      if (start > cursor) run_segment(idle, start - cursor);
+      run_segment(active, end - start);
+      cursor = end;
+    }
+    const SimDuration makespan = timeline.makespan();
+    if (makespan > cursor) run_segment(idle, makespan - cursor);
   }
 
   double sampled_energy_mj() const { return sampled_mj_; }

@@ -69,26 +69,40 @@ CpuCostModel neon_cost_model() {
   CpuCostModel model;
   // The paper's NEON port gains -10% on the forward transform and -16% on
   // the inverse (whose interleaved synthesis loop vectorizes better).
-  model.analysis_factor = 0.90;
-  model.synthesis_factor = 0.84;
+  model.analysis_factor = hw::cost::kNeonAnalysisFactor;
+  model.synthesis_factor = hw::cost::kNeonSynthesisFactor;
   return model;
 }
 
-void TransformBackend::charge(SimDuration d) {
-  switch (phase_) {
+namespace {
+void stage_add(StageTimes* times, Phase p, SimDuration d) {
+  switch (p) {
     case Phase::kPrep:
-      times_.prep += d;
+      times->prep += d;
       break;
     case Phase::kForward:
-      times_.forward += d;
+      times->forward += d;
       break;
     case Phase::kFusion:
-      times_.fusion += d;
+      times->fusion += d;
       break;
     case Phase::kInverse:
-      times_.inverse += d;
+      times->inverse += d;
       break;
   }
+}
+}  // namespace
+
+void TransformBackend::charge(SimDuration d) { ledger_add(phase_, d); }
+
+void TransformBackend::note_pl(SimDuration d) { ledger_add_pl(phase_, d); }
+
+void TransformBackend::ledger_add(Phase p, SimDuration d) {
+  stage_add(&times_, p, d);
+}
+
+void TransformBackend::ledger_add_pl(Phase p, SimDuration d) {
+  stage_add(&pl_times_, p, d);
 }
 
 SimDuration TransformBackend::prep_time(int pixels) const {
@@ -146,11 +160,16 @@ void CpuTimedFilter::select(const float* a_re, const float* a_im, const float* b
 
 namespace {
 
-// The float engine retires one output pair every two PL cycles (II=2) after
-// a pipeline fill of `slots` cycles.
-double engine_compute_cycles(int outputs, int slots) {
-  return 2.0 * outputs + slots;
+using hw::cost::engine_compute_cycles;
+
+void check_engine_fit(const driver::WaveletAccelerator& accel, int taps,
+                      bool synthesis) {
+  detail::check_engine_fit(accel.engine(), taps, synthesis);
 }
+
+}  // namespace
+
+namespace detail {
 
 // A bank only runs on the engine if its coefficients fit the shift-register
 // chain: `slots` for analysis, `slots + 2` for the interleaved synthesis
@@ -158,19 +177,19 @@ double engine_compute_cycles(int outputs, int slots) {
 // the hardware cannot hold would produce plausible-looking nonsense, so
 // refuse loudly (e.g. the paper's 12-slot engine cannot run the 14-tap
 // q-shift banks — see bench_ablation_taps).
-void check_engine_fit(const driver::WaveletAccelerator& accel, int taps,
+void check_engine_fit(const hw::WaveletEngineConfig& engine, int taps,
                       bool synthesis) {
-  const int limit = accel.engine().slots + (synthesis ? 2 : 0);
+  const int limit = engine.slots + (synthesis ? 2 : 0);
   if (taps > limit) {
     std::fprintf(stderr,
                  "fatal: %d-tap %s filter does not fit the modeled wavelet "
                  "engine (%d coefficient slots)\n",
-                 taps, synthesis ? "synthesis" : "analysis", accel.engine().slots);
+                 taps, synthesis ? "synthesis" : "analysis", engine.slots);
     std::abort();
   }
 }
 
-}  // namespace
+}  // namespace detail
 
 class FpgaBackend::Filter : public dwt::LineFilter {
  public:
@@ -184,6 +203,7 @@ class FpgaBackend::Filter : public dwt::LineFilter {
     owner_->charge(accel_->line_time(
         2 * out_len + taps, 2 * out_len,
         engine_compute_cycles(out_len, accel_->engine().slots)));
+    owner_->note_pl(accel_->last_line_pl_time());
   }
 
   void synthesize(const float* ext, int pairs, const float* ca, const float* cb,
@@ -193,6 +213,7 @@ class FpgaBackend::Filter : public dwt::LineFilter {
     owner_->charge(accel_->line_time(
         2 * pairs + taps, 2 * pairs,
         engine_compute_cycles(pairs, accel_->engine().slots)));
+    owner_->note_pl(accel_->last_line_pl_time());
   }
 
   void magnitude(const float* re, const float* im, int n, float* mag) override {
@@ -238,6 +259,7 @@ class AdaptiveBackend::Filter : public dwt::LineFilter {
       owner_->charge(accel_->line_time(
           2 * out_len + taps, 2 * out_len,
           engine_compute_cycles(out_len, accel_->engine().slots)));
+      owner_->note_pl(accel_->last_line_pl_time());
     } else {
       simd::dual_corr_decimate2_simd(ext, out_len, lp, hp, taps, lo, hi);
       owner_->charge(
@@ -253,6 +275,7 @@ class AdaptiveBackend::Filter : public dwt::LineFilter {
       owner_->charge(accel_->line_time(
           2 * pairs + taps, 2 * pairs,
           engine_compute_cycles(pairs, accel_->engine().slots)));
+      owner_->note_pl(accel_->last_line_pl_time());
     } else {
       simd::dual_corr_decimate2_ileave_simd(ext, pairs, ca, cb, taps, out);
       owner_->charge(
@@ -311,7 +334,9 @@ FrameRunResult TimedFusionRunner::run_frame_pair(const image::ImageF& visible,
   backend_.set_phase(Phase::kInverse);
   FrameRunResult result;
   result.fused = dwt::inverse_dtcwt(fused, config_.transform, backend_.line_filter());
+  backend_.finish_frame();
   result.times = backend_.frame_times();
+  result.pl_times = backend_.frame_pl_times();
   return result;
 }
 

@@ -53,18 +53,18 @@ struct StageTimes {
   SimDuration total() const { return prep + forward + fusion + inverse; }
 };
 
-// CPU-side cost model (PS cycles). Constants reproduce the paper's absolute
-// times — which imply roughly 70 cycles per float MAC on the A9 — and its
-// NEON deltas (-10% forward, -16% inverse).
+// CPU-side cost model (PS cycles). The named constants (hw/cost_constants.h)
+// reproduce the paper's absolute times — which imply roughly 70 cycles per
+// float MAC on the A9 — and its NEON deltas (-10% forward, -16% inverse).
 struct CpuCostModel {
-  double line_overhead_cycles = 400;
-  double per_sample_base_cycles = 470;
-  double per_sample_tap_cycles = 2.0;
-  double magnitude_cycles_per_sample = 110;
-  double select_cycles_per_sample = 35;
-  double prep_cycles_per_pixel = 300;
-  double analysis_factor = 1.0;   // NEON: 0.90
-  double synthesis_factor = 1.0;  // NEON: 0.84
+  double line_overhead_cycles = hw::cost::kCpuLineOverheadCycles;
+  double per_sample_base_cycles = hw::cost::kCpuPerSampleBaseCycles;
+  double per_sample_tap_cycles = hw::cost::kCpuPerSampleTapCycles;
+  double magnitude_cycles_per_sample = hw::cost::kCpuMagnitudeCyclesPerSample;
+  double select_cycles_per_sample = hw::cost::kCpuSelectCyclesPerSample;
+  double prep_cycles_per_pixel = hw::cost::kCpuPrepCyclesPerPixel;
+  double analysis_factor = 1.0;   // NEON: kNeonAnalysisFactor
+  double synthesis_factor = 1.0;  // NEON: kNeonSynthesisFactor
 
   double analysis_line_cycles(int samples, int taps) const {
     return line_overhead_cycles +
@@ -89,23 +89,58 @@ class TransformBackend {
   virtual power::ComputeMode compute_mode() const = 0;
   virtual dwt::LineFilter& line_filter() = 0;
 
-  void begin_frame() { times_ = {}; }
-  void set_phase(Phase p) { phase_ = p; }
+  void begin_frame() {
+    times_ = {};
+    pl_times_ = {};
+    on_begin_frame();
+  }
+  void set_phase(Phase p) {
+    if (p != phase_) on_phase_exit(phase_);
+    phase_ = p;
+  }
   Phase phase() const { return phase_; }
   const StageTimes& frame_times() const { return times_; }
 
-  // Adds modeled time to the current phase's ledger.
-  void charge(SimDuration d);
+  // Per-phase PL-resident portion of frame_times(): DMA transfers, engine
+  // busy time, PS-waits-for-PL stalls. A frame-level pipeline may overlap
+  // this with another frame's PS work; frame_times() minus this is the
+  // work the PS core itself must execute.
+  const StageTimes& frame_pl_times() const { return pl_times_; }
+
+  // Adds modeled time to the current phase's ledger. Virtual so event-queue
+  // backends can route generic PS charges onto a timeline instead.
+  virtual void charge(SimDuration d);
+
+  // Tags the PL-resident sub-portion of time already charged (never adds
+  // to frame_times(), only to the split).
+  void note_pl(SimDuration d);
+
+  // Called by the runner once the frame's last phase is complete; backends
+  // with in-flight work (batched submission) drain and reconcile here.
+  virtual void finish_frame() {}
 
   // Frame prep/conversion runs on the ARM regardless of engine.
   SimDuration prep_time(int pixels) const;
 
+ protected:
+  void ledger_add(Phase p, SimDuration d);
+  void ledger_add_pl(Phase p, SimDuration d);
+  virtual void on_begin_frame() {}
+  virtual void on_phase_exit(Phase old_phase) { (void)old_phase; }
+
  private:
   StageTimes times_;
+  StageTimes pl_times_;
   Phase phase_ = Phase::kPrep;
 };
 
 namespace detail {
+
+// Aborts if a filter bank cannot fit the modeled engine's coefficient
+// shift-register chain (`slots` for analysis, `slots + 2` for synthesis).
+void check_engine_fit(const hw::WaveletEngineConfig& engine, int taps,
+                      bool synthesis);
+
 // Executes lines with scalar or 4-lane kernels and charges CPU-model time.
 class CpuTimedFilter : public dwt::LineFilter {
  public:
@@ -201,7 +236,7 @@ class AdaptiveBackend : public TransformBackend {
   struct Options {
     // Calibrated crossover: lines at least this long go to the FPGA engine,
     // shorter ones stay on NEON (see calibrate.h).
-    int threshold_samples = 44;
+    int threshold_samples = hw::cost::kAdaptiveThresholdSamples;
     hw::WaveletEngineConfig engine;
     driver::DriverCosts driver_costs;
   };
@@ -230,6 +265,7 @@ class AdaptiveBackend : public TransformBackend {
 
 struct FrameRunResult {
   StageTimes times;
+  StageTimes pl_times;  // PL-resident portion of `times` (see frame_pl_times)
   image::ImageF fused;
 };
 

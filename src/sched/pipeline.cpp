@@ -1,0 +1,213 @@
+#include "src/sched/pipeline.h"
+
+#include <algorithm>
+#include <array>
+
+#include "src/hw/clock.h"
+#include "src/hw/cost_constants.h"
+#include "src/power/recorder.h"
+#include "src/simd/kernels.h"
+
+namespace vf::sched {
+
+// --- BatchedFpgaBackend -----------------------------------------------------
+
+class BatchedFpgaBackend::Filter : public dwt::LineFilter {
+ public:
+  Filter(BatchedFpgaBackend* owner, driver::PipelinedWaveletAccelerator* accel)
+      : owner_(owner), accel_(accel), cpu_(arm_cost_model()) {}
+
+  void barrier() override { accel_->barrier(); }
+
+  void analyze(const float* ext, int out_len, const float* lp, const float* hp,
+               int taps, float* lo, float* hi) override {
+    detail::check_engine_fit(accel_->engine(), taps, /*synthesis=*/false);
+    simd::dual_corr_decimate2_scalar(ext, out_len, lp, hp, taps, lo, hi);
+    accel_->submit_line(2 * out_len + taps, 2 * out_len,
+                        hw::cost::engine_compute_cycles(out_len,
+                                                        accel_->engine().slots));
+  }
+
+  void synthesize(const float* ext, int pairs, const float* ca, const float* cb,
+                  int taps, float* out) override {
+    detail::check_engine_fit(accel_->engine(), taps, /*synthesis=*/true);
+    simd::dual_corr_decimate2_ileave_scalar(ext, pairs, ca, cb, taps, out);
+    accel_->submit_line(2 * pairs + taps, 2 * pairs,
+                        hw::cost::engine_compute_cycles(pairs,
+                                                        accel_->engine().slots));
+  }
+
+  void magnitude(const float* re, const float* im, int n, float* mag) override {
+    simd::complex_magnitude_scalar(re, im, n, mag);
+    owner_->charge(hw::ps_clock().cycles(cpu_.magnitude_cycles_per_sample * n));
+  }
+
+  void select(const float* a_re, const float* a_im, const float* b_re,
+              const float* b_im, const float* mag_a, const float* mag_b, int n,
+              float* out_re, float* out_im) override {
+    simd::select_by_magnitude_scalar(a_re, a_im, b_re, b_im, mag_a, mag_b, n, out_re,
+                                     out_im);
+    owner_->charge(hw::ps_clock().cycles(cpu_.select_cycles_per_sample * n));
+  }
+
+ private:
+  BatchedFpgaBackend* owner_;
+  driver::PipelinedWaveletAccelerator* accel_;
+  CpuCostModel cpu_;
+};
+
+BatchedFpgaBackend::BatchedFpgaBackend(const Options& options)
+    : ps_(timeline_.add_resource("PS core")),
+      dma_(timeline_.add_resource("ACP DMA")),
+      pl_(timeline_.add_resource("PL engine")),
+      accel_(options.engine, options.driver_costs, options.batching, &timeline_,
+             ps_, dma_, pl_),
+      filter_(std::make_unique<Filter>(this, &accel_)) {}
+
+BatchedFpgaBackend::~BatchedFpgaBackend() = default;
+
+dwt::LineFilter& BatchedFpgaBackend::line_filter() { return *filter_; }
+
+void BatchedFpgaBackend::charge(SimDuration d) {
+  // Generic PS work (prep, fusion-rule kernels) becomes a PS event; the
+  // ledger is reconciled from the makespan at the next sync, so no direct
+  // ledger_add here — adding both would double-charge.
+  timeline_.schedule(ps_, "ps", ps_ready_, d);
+}
+
+void BatchedFpgaBackend::on_phase_exit(Phase old_phase) { sync(old_phase); }
+
+void BatchedFpgaBackend::finish_frame() { sync(phase()); }
+
+void BatchedFpgaBackend::sync(Phase charge_to) {
+  accel_.flush();
+  const SimDuration now = timeline_.makespan();
+  ledger_add(charge_to, now - mark_);
+  const SimDuration pl_busy = timeline_.busy_time(pl_) + timeline_.busy_time(dma_);
+  ledger_add_pl(charge_to, pl_busy - mark_pl_busy_);
+  mark_ = now;
+  mark_pl_busy_ = pl_busy;
+  // A phase consumes the previous phase's outputs: later PS work must wait
+  // for the drain point.
+  ps_ready_ = now;
+}
+
+// --- frame-level pipelining -------------------------------------------------
+
+namespace {
+
+struct StageCost {
+  SimDuration ps, pl;
+  const char* label;
+};
+
+SimDuration clamp_nonneg(SimDuration d) {
+  return d > SimDuration::zero() ? d : SimDuration::zero();
+}
+
+}  // namespace
+
+PipelineRunResult run_pipelined(TransformBackend& backend,
+                                const std::vector<FramePair>& frames,
+                                const PipelineOptions& options) {
+  PipelineRunResult result;
+  result.frames = static_cast<int>(frames.size());
+
+  // Pass 1: serial numerics + per-frame stage costs split into the work the
+  // PS core must execute and the PL-resident remainder it may overlap.
+  constexpr int kStages = 4;
+  TimedFusionRunner runner(backend, options.fuse);
+  std::vector<std::array<StageCost, kStages>> cost;
+  cost.reserve(frames.size());
+  for (const FramePair& pair : frames) {
+    const FrameRunResult r = runner.run_frame_pair(pair.visible, pair.thermal);
+    result.serial_total += r.times.total();
+    cost.push_back({{
+        {clamp_nonneg(r.times.prep - r.pl_times.prep), r.pl_times.prep, "prep"},
+        {clamp_nonneg(r.times.forward - r.pl_times.forward), r.pl_times.forward,
+         "fwd"},
+        {clamp_nonneg(r.times.fusion - r.pl_times.fusion), r.pl_times.fusion,
+         "fus"},
+        {clamp_nonneg(r.times.inverse - r.pl_times.inverse), r.pl_times.inverse,
+         "inv"},
+    }});
+  }
+
+  // Pass 2: re-schedule the stages on a fresh two-resource timeline. The PS
+  // part of a stage (driver calls, fusion rule, prep) runs on the PS core;
+  // the PL part follows it on the engine+DMA resource. Stages of one frame
+  // chain by data dependency; stages of *different* frames share only the
+  // resources, which is where the overlap comes from.
+  Timeline tl;
+  const ResourceId ps = tl.add_resource("PS core");
+  const ResourceId pl = tl.add_resource("PL engine + DMA");
+  const int n = result.frames;
+  std::vector<SimDuration> stage_done(static_cast<std::size_t>(n) * kStages);
+  auto done = [&](int f, int s) -> SimDuration& {
+    return stage_done[static_cast<std::size_t>(f) * kStages + s];
+  };
+
+  auto schedule_stage = [&](int f, int s, SimDuration ready) {
+    const StageCost& c = cost[f][s];
+    SimDuration end = ready;
+    if (c.ps > SimDuration::zero() || c.pl == SimDuration::zero()) {
+      end = tl.schedule(ps, c.label, ready, c.ps).end;
+    }
+    if (c.pl > SimDuration::zero()) {
+      end = tl.schedule(pl, c.label, end, c.pl).end;
+    }
+    done(f, s) = end;
+  };
+
+  if (options.overlap) {
+    // Software-pipeline order: in each slot, the oldest in-flight frame's
+    // stage is placed first so the greedy per-resource schedule fills the
+    // PS with frame N-1's fusion and frame N+1's prep while the PL engine
+    // transforms frame N.
+    for (int slot = 0; slot < n + kStages - 1; ++slot) {
+      for (int s = kStages - 1; s >= 0; --s) {
+        const int f = slot - s;
+        if (f < 0 || f >= n) continue;
+        schedule_stage(f, s, s == 0 ? SimDuration::zero() : done(f, s - 1));
+      }
+    }
+  } else {
+    // Serial schedule: every stage waits for the previous one, frames do
+    // not overlap — the event-queue equivalent of the additive ledger.
+    SimDuration prev;
+    for (int f = 0; f < n; ++f) {
+      for (int s = 0; s < kStages; ++s) {
+        schedule_stage(f, s, prev);
+        prev = done(f, s);
+      }
+    }
+  }
+
+  result.makespan = tl.makespan();
+  result.ps_busy = tl.busy_time(ps);
+  result.pl_busy = tl.busy_time(pl);
+  result.sustained_fps =
+      result.makespan.sec() > 0.0 ? result.frames / result.makespan.sec() : 0.0;
+
+  // Energy: integrate mode power against the timeline. `energy_mj` keeps the
+  // paper's methodology (the loaded bitstream's +3.6% draw for the whole
+  // run when the backend uses the PL at all); `energy_gated_mj` charges the
+  // engine draw only while the PL/DMA resource is actually busy — and
+  // because intervals are merged, concurrent PS+PL activity is charged once.
+  const power::PowerModel pm;
+  const power::ComputeMode mode = backend.compute_mode();
+  power::PowerRecorder loaded(pm, SimDuration::milliseconds(1));
+  loaded.run_timeline(tl, {pl}, /*idle=*/mode, /*active=*/mode);
+  result.energy_mj = loaded.exact_energy_mj();
+  power::PowerRecorder gated(pm, SimDuration::milliseconds(1));
+  gated.run_timeline(tl, {pl}, power::ComputeMode::kArmOnly, mode);
+  result.energy_gated_mj = gated.exact_energy_mj();
+  return result;
+}
+
+PipelineRunResult probe_pipelined(TransformBackend& backend, const FrameSize& size,
+                                  int frames, const PipelineOptions& options) {
+  return run_pipelined(backend, make_sweep_frames(size, frames), options);
+}
+
+}  // namespace vf::sched

@@ -1,0 +1,130 @@
+// Event-queue execution on top of the Timeline (ROADMAP items 1–2).
+//
+// Two layers of computed (not assumed) concurrency:
+//
+//   BatchedFpgaBackend     the FPGA engine driven through the
+//                          PipelinedWaveletAccelerator: consecutive lines
+//                          are packed into the 2048-word kernel buffers,
+//                          one driver call per batch, and the two buffers
+//                          ping-pong at transfer granularity (the paper's
+//                          Fig. 5 schedule across *consecutive* lines).
+//                          Amortizing the ~12k-cycle driver entry moves the
+//                          FPGA time break point left of 35x35
+//                          (tests/test_timeline.cpp locks this).
+//
+//   run_pipelined          frame-level software pipelining: while the PL
+//                          transforms frame N, the PS runs frame N-1's
+//                          fusion rule and frame N+1's prep. Stage costs
+//                          come from the per-frame ledger (split into
+//                          PS-resident and PL-resident parts) and are
+//                          re-scheduled on a Timeline; with overlap
+//                          disabled the schedule degenerates to the serial
+//                          ledger sum (DESIGN.md §2 invariant).
+//
+// Numerics are untouched in both layers: the same kernels run in the same
+// order, so fused outputs stay bit-identical with every other backend.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/common/timeline.h"
+#include "src/sched/adaptive.h"
+
+namespace vf::sched {
+
+// FPGA backend with batched line submission and transfer-granularity double
+// buffering. Modeled time is computed by an internal Timeline over three
+// resources (PS core, ACP DMA, PL engine); the additive per-phase ledger is
+// reconciled from makespan deltas at phase boundaries, so
+// frame_times().total() is the PS-visible end-to-end time, overlap included.
+class BatchedFpgaBackend : public TransformBackend {
+ public:
+  struct Options {
+    hw::WaveletEngineConfig engine;
+    driver::DriverCosts driver_costs;
+    driver::PipelinedWaveletAccelerator::Batching batching;
+  };
+
+  BatchedFpgaBackend() : BatchedFpgaBackend(Options{}) {}
+  explicit BatchedFpgaBackend(const Options& options);
+  ~BatchedFpgaBackend() override;
+
+  const char* name() const override { return "FPGA+batch"; }
+  power::ComputeMode compute_mode() const override {
+    return power::ComputeMode::kArmFpga;
+  }
+  dwt::LineFilter& line_filter() override;
+
+  void charge(SimDuration d) override;
+  void finish_frame() override;
+
+  const Timeline& timeline() const { return timeline_; }
+  const driver::PipelinedWaveletAccelerator& accelerator() const { return accel_; }
+  ResourceId ps_resource() const { return ps_; }
+  ResourceId dma_resource() const { return dma_; }
+  ResourceId pl_resource() const { return pl_; }
+
+ protected:
+  void on_phase_exit(Phase old_phase) override;
+
+ private:
+  class Filter;
+
+  // Closes in-flight batches and charges the makespan growth since the last
+  // sync to `charge_to` (PL/DMA busy growth goes to the PL split ledger).
+  void sync(Phase charge_to);
+
+  Timeline timeline_;
+  ResourceId ps_, dma_, pl_;
+  driver::PipelinedWaveletAccelerator accel_;
+  SimDuration mark_;          // makespan at last sync
+  SimDuration mark_pl_busy_;  // PL+DMA busy time at last sync
+  SimDuration ps_ready_;      // PS events wait for drained outputs
+  std::unique_ptr<Filter> filter_;
+};
+
+// --- frame-level pipelining -------------------------------------------------
+
+struct PipelineOptions {
+  // Frame-level overlap. Off reproduces the serial schedule: makespan ==
+  // the additive ledger total (up to float summation order).
+  bool overlap = true;
+  fusion::FuseConfig fuse;
+};
+
+struct PipelineRunResult {
+  int frames = 0;
+  // Additive ledger sum over frames — what the serial TimedFusionRunner
+  // reports for the same backend and input.
+  SimDuration serial_total;
+  // Completion time of the last frame on the event-queue schedule.
+  SimDuration makespan;
+  SimDuration ps_busy, pl_busy;
+  double sustained_fps = 0.0;
+  // Timeline-integrated energy with the bitstream-loaded draw for the whole
+  // run (the paper's methodology), and with the engine draw gated to PL-busy
+  // intervals (what clock-gating the idle engine would save).
+  double energy_mj = 0.0;
+  double energy_gated_mj = 0.0;
+
+  double energy_per_frame_mj() const {
+    return frames > 0 ? energy_mj / frames : 0.0;
+  }
+  double speedup_vs_serial() const {
+    return makespan.sec() > 0.0 ? serial_total / makespan : 0.0;
+  }
+};
+
+// Runs every frame pair through `backend` (serial numerics, per-frame
+// PS/PL-split stage costs), then re-schedules the stages on a Timeline with
+// the 4-stage software pipeline prep -> forward -> fusion -> inverse.
+PipelineRunResult run_pipelined(TransformBackend& backend,
+                                const std::vector<FramePair>& frames,
+                                const PipelineOptions& options = {});
+
+// Convenience: run_pipelined over the deterministic sweep scene.
+PipelineRunResult probe_pipelined(TransformBackend& backend, const FrameSize& size,
+                                  int frames, const PipelineOptions& options = {});
+
+}  // namespace vf::sched

@@ -1,0 +1,65 @@
+#include "src/common/timeline.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace vf {
+
+ResourceId Timeline::add_resource(std::string name) {
+  resources_.push_back(Resource{std::move(name), SimDuration::zero(),
+                                SimDuration::zero()});
+  return static_cast<ResourceId>(resources_.size()) - 1;
+}
+
+Timeline::Event Timeline::schedule(ResourceId r, std::string label,
+                                   SimDuration ready, SimDuration duration) {
+  assert(r >= 0 && r < resource_count());
+  assert(duration >= SimDuration::zero());
+  Resource& res = resources_[r];
+  Event ev;
+  ev.resource = r;
+  ev.label = std::move(label);
+  ev.start = std::max(ready, res.free_at);
+  ev.end = ev.start + duration;
+  res.free_at = ev.end;
+  res.busy += duration;
+  if (ev.end > makespan_) makespan_ = ev.end;
+  events_.push_back(ev);
+  return ev;
+}
+
+std::vector<std::pair<SimDuration, SimDuration>> Timeline::busy_intervals(
+    const std::vector<ResourceId>& resources) const {
+  std::vector<std::pair<SimDuration, SimDuration>> spans;
+  for (const Event& ev : events_) {
+    if (ev.end == ev.start) continue;  // zero-length events occupy no time
+    for (ResourceId r : resources) {
+      if (ev.resource == r) {
+        spans.emplace_back(ev.start, ev.end);
+        break;
+      }
+    }
+  }
+  std::sort(spans.begin(), spans.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<std::pair<SimDuration, SimDuration>> merged;
+  for (const auto& span : spans) {
+    if (!merged.empty() && span.first <= merged.back().second) {
+      merged.back().second = std::max(merged.back().second, span.second);
+    } else {
+      merged.push_back(span);
+    }
+  }
+  return merged;
+}
+
+void Timeline::clear() {
+  for (Resource& res : resources_) {
+    res.free_at = SimDuration::zero();
+    res.busy = SimDuration::zero();
+  }
+  events_.clear();
+  makespan_ = SimDuration::zero();
+}
+
+}  // namespace vf

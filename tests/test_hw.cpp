@@ -77,6 +77,49 @@ TEST(Driver, GpPortTransferSlowsTheLineDown) {
   EXPECT_LT(a_acp.line_time(190, 176, 190).sec(), a_gp.line_time(190, 176, 190).sec());
 }
 
+TEST(Driver, LineCostDecompositionSumsToLineTime) {
+  const hw::WaveletEngineConfig engine;
+  const driver::DriverCosts costs;
+  const driver::LineCost cost = driver::line_cost(engine, costs, 102, 88, 190.0);
+  EXPECT_GT(cost.driver.sec(), 0.0);
+  EXPECT_GT(cost.input.sec(), 0.0);
+  EXPECT_GT(cost.compute.sec(), 0.0);
+  EXPECT_GT(cost.output.sec(), 0.0);
+
+  driver::WaveletAccelerator accel(engine, costs);
+  const SimDuration total = accel.line_time(102, 88, 190.0);
+  const SimDuration stall = cost.compute > cost.input
+                                ? cost.compute - cost.input
+                                : SimDuration::zero();
+  EXPECT_DOUBLE_EQ(total.sec(),
+                   (cost.driver + cost.input + stall + cost.output).sec());
+  // The PS/PL split partitions the total exactly.
+  EXPECT_DOUBLE_EQ(accel.last_line_ps_time().sec() + accel.last_line_pl_time().sec(),
+                   total.sec());
+  // ACP DMA path: only the driver entry is PS-resident.
+  EXPECT_DOUBLE_EQ(accel.last_line_ps_time().sec(), cost.driver.sec());
+}
+
+TEST(Driver, GpPortTransfersArePsResident) {
+  driver::DriverCosts costs;
+  costs.transfer = driver::TransferMode::kGpPort;
+  driver::WaveletAccelerator accel({}, costs);
+  accel.line_time(102, 88, 190.0);
+  const driver::LineCost cost = driver::line_cost({}, costs, 102, 88, 190.0);
+  EXPECT_DOUBLE_EQ(accel.last_line_ps_time().sec(),
+                   (cost.driver + cost.input + cost.output).sec());
+}
+
+TEST(Driver, DefaultCostsMatchTheNamedConstants) {
+  const driver::DriverCosts costs;
+  EXPECT_DOUBLE_EQ(costs.call_overhead_ps_cycles, hw::cost::kDriverCallPsCycles);
+  EXPECT_DOUBLE_EQ(costs.poll_ps_cycles, hw::cost::kStatusPollPsCycles);
+  EXPECT_DOUBLE_EQ(costs.expected_polls, hw::cost::kExpectedPollsPerCall);
+  EXPECT_DOUBLE_EQ(costs.irq_latency_ps_cycles, hw::cost::kIrqLatencyPsCycles);
+  // II=2 engine schedule: pipeline fill of `slots`, then one pair per 2.
+  EXPECT_DOUBLE_EQ(hw::cost::engine_compute_cycles(44, 14), 2.0 * 44 + 14);
+}
+
 TEST(Driver, AccumulatorsTrackLines) {
   driver::WaveletAccelerator accel({}, {});
   EXPECT_EQ(accel.lines(), 0);
