@@ -1,13 +1,22 @@
 // Ablation A5 — host wall-clock microbenchmarks of the compute kernels
 // (google-benchmark). Everything else in bench/ reports *modeled* ZC702
-// time; this binary shows the library's scalar and 4-lane SIMD kernels are
-// real code with a real vectorization speedup on the build host.
+// time; this binary shows the kernel library is real code with a real
+// vectorization speedup on the build host, across all five kernel families
+// (analyze, synthesize, magnitude, select, average) and all three flavours
+// (scalar, simd intrinsics, autovec).
+//
+// Extra flag (stripped before google-benchmark sees the command line):
+//   --json PATH   write the collected per-benchmark timings as JSON
+//                 (vf-bench-v1 schema, like bench_pipeline --json)
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
 #include <vector>
 
+#include "src/common/json.h"
 #include "src/common/rng.h"
-#include "src/simd/kernels.h"
+#include "src/simd/dispatch.h"
 
 namespace {
 
@@ -18,7 +27,13 @@ std::vector<float> randv(int n, std::uint64_t seed) {
   return v;
 }
 
-void BM_DualCorrDecimate2_Scalar(benchmark::State& state) {
+// One bench per kernel family, parameterized over the dispatch set so every
+// flavour of every family is measured with identical inputs. q-shift width
+// (14 taps) everywhere: it is the widest bank and the one that dominates
+// DT-CWT runtime. Line lengths: 44 = an 88x72 level-1 line, 1024 = a long
+// line to expose the asymptotic throughput; 1584 = the 88x72 level-1 subband.
+
+void BM_Analyze(benchmark::State& state, const vf::simd::KernelSet& k) {
   const int out_len = static_cast<int>(state.range(0));
   const int taps = 14;
   const auto x = randv(2 * out_len + taps, 1);
@@ -27,52 +42,14 @@ void BM_DualCorrDecimate2_Scalar(benchmark::State& state) {
   std::vector<float> lo(static_cast<std::size_t>(out_len));
   std::vector<float> hi(static_cast<std::size_t>(out_len));
   for (auto _ : state) {
-    vf::simd::dual_corr_decimate2_scalar(x.data(), out_len, lp.data(), hp.data(), taps,
-                                         lo.data(), hi.data());
+    k.analyze(x.data(), out_len, lp.data(), hp.data(), taps, lo.data(), hi.data());
     benchmark::DoNotOptimize(lo.data());
     benchmark::DoNotOptimize(hi.data());
   }
   state.SetItemsProcessed(state.iterations() * out_len);
 }
-BENCHMARK(BM_DualCorrDecimate2_Scalar)->Arg(44)->Arg(1024);
 
-void BM_DualCorrDecimate2_Simd(benchmark::State& state) {
-  const int out_len = static_cast<int>(state.range(0));
-  const int taps = 14;
-  const auto x = randv(2 * out_len + taps, 1);
-  const auto lp = randv(taps, 2);
-  const auto hp = randv(taps, 3);
-  std::vector<float> lo(static_cast<std::size_t>(out_len));
-  std::vector<float> hi(static_cast<std::size_t>(out_len));
-  for (auto _ : state) {
-    vf::simd::dual_corr_decimate2_simd(x.data(), out_len, lp.data(), hp.data(), taps,
-                                       lo.data(), hi.data());
-    benchmark::DoNotOptimize(lo.data());
-    benchmark::DoNotOptimize(hi.data());
-  }
-  state.SetItemsProcessed(state.iterations() * out_len);
-}
-BENCHMARK(BM_DualCorrDecimate2_Simd)->Arg(44)->Arg(1024);
-
-void BM_DualCorrDecimate2_Autovec(benchmark::State& state) {
-  const int out_len = static_cast<int>(state.range(0));
-  const int taps = 14;
-  const auto x = randv(2 * out_len + taps, 1);
-  const auto lp = randv(taps, 2);
-  const auto hp = randv(taps, 3);
-  std::vector<float> lo(static_cast<std::size_t>(out_len));
-  std::vector<float> hi(static_cast<std::size_t>(out_len));
-  for (auto _ : state) {
-    vf::simd::dual_corr_decimate2_autovec(x.data(), out_len, lp.data(), hp.data(), taps,
-                                          lo.data(), hi.data());
-    benchmark::DoNotOptimize(lo.data());
-    benchmark::DoNotOptimize(hi.data());
-  }
-  state.SetItemsProcessed(state.iterations() * out_len);
-}
-BENCHMARK(BM_DualCorrDecimate2_Autovec)->Arg(44)->Arg(1024);
-
-void BM_SynthesisInterleaved_Scalar(benchmark::State& state) {
+void BM_Synthesize(benchmark::State& state, const vf::simd::KernelSet& k) {
   const int pairs = static_cast<int>(state.range(0));
   const int taps = 14;
   const auto x = randv(2 * pairs + taps, 4);
@@ -80,57 +57,25 @@ void BM_SynthesisInterleaved_Scalar(benchmark::State& state) {
   const auto cb = randv(taps, 6);
   std::vector<float> out(static_cast<std::size_t>(2 * pairs));
   for (auto _ : state) {
-    vf::simd::dual_corr_decimate2_ileave_scalar(x.data(), pairs, ca.data(), cb.data(),
-                                                taps, out.data());
+    k.synthesize(x.data(), pairs, ca.data(), cb.data(), taps, out.data());
     benchmark::DoNotOptimize(out.data());
   }
   state.SetItemsProcessed(state.iterations() * pairs);
 }
-BENCHMARK(BM_SynthesisInterleaved_Scalar)->Arg(44)->Arg(1024);
 
-void BM_SynthesisInterleaved_Simd(benchmark::State& state) {
-  const int pairs = static_cast<int>(state.range(0));
-  const int taps = 14;
-  const auto x = randv(2 * pairs + taps, 4);
-  const auto ca = randv(taps, 5);
-  const auto cb = randv(taps, 6);
-  std::vector<float> out(static_cast<std::size_t>(2 * pairs));
-  for (auto _ : state) {
-    vf::simd::dual_corr_decimate2_ileave_simd(x.data(), pairs, ca.data(), cb.data(),
-                                              taps, out.data());
-    benchmark::DoNotOptimize(out.data());
-  }
-  state.SetItemsProcessed(state.iterations() * pairs);
-}
-BENCHMARK(BM_SynthesisInterleaved_Simd)->Arg(44)->Arg(1024);
-
-void BM_ComplexMagnitude_Scalar(benchmark::State& state) {
+void BM_Magnitude(benchmark::State& state, const vf::simd::KernelSet& k) {
   const int n = static_cast<int>(state.range(0));
   const auto re = randv(n, 7);
   const auto im = randv(n, 8);
   std::vector<float> mag(static_cast<std::size_t>(n));
   for (auto _ : state) {
-    vf::simd::complex_magnitude_scalar(re.data(), im.data(), n, mag.data());
+    k.magnitude(re.data(), im.data(), n, mag.data());
     benchmark::DoNotOptimize(mag.data());
   }
   state.SetItemsProcessed(state.iterations() * n);
 }
-BENCHMARK(BM_ComplexMagnitude_Scalar)->Arg(1584);
 
-void BM_ComplexMagnitude_Simd(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  const auto re = randv(n, 7);
-  const auto im = randv(n, 8);
-  std::vector<float> mag(static_cast<std::size_t>(n));
-  for (auto _ : state) {
-    vf::simd::complex_magnitude_simd(re.data(), im.data(), n, mag.data());
-    benchmark::DoNotOptimize(mag.data());
-  }
-  state.SetItemsProcessed(state.iterations() * n);
-}
-BENCHMARK(BM_ComplexMagnitude_Simd)->Arg(1584);
-
-void BM_SelectByMagnitude_Simd(benchmark::State& state) {
+void BM_Select(benchmark::State& state, const vf::simd::KernelSet& k) {
   const int n = static_cast<int>(state.range(0));
   const auto a_re = randv(n, 9);
   const auto a_im = randv(n, 10);
@@ -143,15 +88,119 @@ void BM_SelectByMagnitude_Simd(benchmark::State& state) {
   std::vector<float> out_re(static_cast<std::size_t>(n));
   std::vector<float> out_im(static_cast<std::size_t>(n));
   for (auto _ : state) {
-    vf::simd::select_by_magnitude_simd(a_re.data(), a_im.data(), b_re.data(),
-                                       b_im.data(), mag_a.data(), mag_b.data(), n,
-                                       out_re.data(), out_im.data());
+    k.select(a_re.data(), a_im.data(), b_re.data(), b_im.data(), mag_a.data(),
+             mag_b.data(), n, out_re.data(), out_im.data());
     benchmark::DoNotOptimize(out_re.data());
   }
   state.SetItemsProcessed(state.iterations() * n);
 }
-BENCHMARK(BM_SelectByMagnitude_Simd)->Arg(1584);
+
+void BM_Average(benchmark::State& state, const vf::simd::KernelSet& k) {
+  const int n = static_cast<int>(state.range(0));
+  const auto a = randv(n, 13);
+  const auto b = randv(n, 14);
+  std::vector<float> out(static_cast<std::size_t>(n));
+  for (auto _ : state) {
+    k.average(a.data(), b.data(), n, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+void register_benches() {
+  const vf::simd::KernelSet* sets[] = {&vf::simd::scalar_kernels(),
+                                       &vf::simd::simd_kernels(),
+                                       &vf::simd::autovec_kernels()};
+  for (const vf::simd::KernelSet* k : sets) {
+    benchmark::RegisterBenchmark((std::string("BM_Analyze/") + k->name).c_str(),
+                                 BM_Analyze, *k)
+        ->Arg(44)
+        ->Arg(1024);
+    benchmark::RegisterBenchmark((std::string("BM_Synthesize/") + k->name).c_str(),
+                                 BM_Synthesize, *k)
+        ->Arg(44)
+        ->Arg(1024);
+    benchmark::RegisterBenchmark((std::string("BM_Magnitude/") + k->name).c_str(),
+                                 BM_Magnitude, *k)
+        ->Arg(1584);
+    benchmark::RegisterBenchmark((std::string("BM_Select/") + k->name).c_str(),
+                                 BM_Select, *k)
+        ->Arg(1584);
+    benchmark::RegisterBenchmark((std::string("BM_Average/") + k->name).c_str(),
+                                 BM_Average, *k)
+        ->Arg(1584);
+  }
+}
+
+// Console output as usual, plus a copy of every run for --json.
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Row {
+    std::string name;
+    long long iterations;
+    double ns_per_op;
+    double items_per_second;
+  };
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      Row row;
+      row.name = run.benchmark_name();
+      row.iterations = static_cast<long long>(run.iterations);
+      row.ns_per_op = run.iterations > 0
+                          ? run.real_accumulated_time / run.iterations * 1e9
+                          : 0.0;
+      const auto it = run.counters.find("items_per_second");
+      row.items_per_second = it != run.counters.end() ? it->second.value : 0.0;
+      rows_.push_back(std::move(row));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  const std::vector<Row>& rows() const { return rows_; }
+
+ private:
+  std::vector<Row> rows_;
+};
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_path;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) return 1;
+
+  register_benches();
+  CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  if (!json_path.empty()) {
+    vf::json::Value run = vf::json::Value::object();
+    run.set("schema", "vf-bench-v1");
+    run.set("bench", "bench_kernels");
+    run.set("simd_isa", vf::simd::simd_isa_name());
+    vf::json::Value rows = vf::json::Value::array();
+    for (const CollectingReporter::Row& row : reporter.rows()) {
+      rows.push(vf::json::Value::object()
+                    .set("name", row.name)
+                    .set("iterations", row.iterations)
+                    .set("ns_per_op", row.ns_per_op)
+                    .set("items_per_second", row.items_per_second));
+    }
+    run.set("results", std::move(rows));
+    if (!vf::json::write_file(json_path, run)) return 1;
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

@@ -12,17 +12,36 @@
 //      schedule moves it left of 35x35;
 //   2. sustained fps and energy/frame with the 4-stage frame pipeline
 //      (prep | forward | fusion | inverse) against the serial runner;
-//   3. how the speedup builds with frame depth (pipeline fill amortization).
+//   3. how the speedup builds with frame depth (pipeline fill amortization);
+//   4. host wall-clock at --threads N against the 1-thread run of the same
+//      workload — the modeled numbers above are bit-identical either way,
+//      so this is the one table where the host machine (not the modeled
+//      ZC702) is the subject.
 //
-// Flags (shared with every bench): --frames N, --pipeline. The smoke run
-// under ctest uses the defaults; --frames raises the sweep depth.
+// Flags (shared with every bench): --frames N, --pipeline, --threads N,
+// --kernels K, --json PATH. The smoke run under ctest uses the defaults;
+// --frames raises the sweep depth.
+#include <chrono>
+
 #include "bench/bench_util.h"
+
+namespace {
+
+double wall_seconds(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace vf;
   using namespace vf::bench;
 
   const BenchOptions options = parse_bench_options(argc, argv);
+  json::Value jrun = json_run_header("bench_pipeline", options);
 
   print_header("Pipelined schedule — batched double buffering + frame overlap",
                "Fig. 5 schedule at transfer granularity; ROADMAP items 1-2");
@@ -33,6 +52,7 @@ int main(int argc, char** argv) {
   TextTable breaks({"frame size", "NEON (s)", "FPGA serial (s)", "FPGA+batch (s)",
                     "batch vs serial", "best engine"});
   std::string first_fpga_win = "none";
+  json::Value jbreaks = json::Value::array();
   for (const sched::FrameSize& size : sched::paper_frame_sizes()) {
     const auto neon = run_probe(EngineChoice::kNeon, size, options.frames);
     const auto serial = run_probe(EngineChoice::kFpga, size, options.frames);
@@ -44,7 +64,14 @@ int main(int argc, char** argv) {
                     TextTable::num(batched.total.sec(), 3),
                     TextTable::num(100.0 * (1.0 - batched.total / serial.total), 1) + "%",
                     fpga_wins ? "FPGA+batch" : "NEON"});
+    jbreaks.push(json::Value::object()
+                     .set("size", size.label())
+                     .set("neon_s", neon.total.sec())
+                     .set("fpga_serial_s", serial.total.sec())
+                     .set("fpga_batched_s", batched.total.sec())
+                     .set("best", fpga_wins ? "FPGA+batch" : "NEON"));
   }
+  jrun.set("break_point", std::move(jbreaks));
   std::printf("%s\n", breaks.to_string().c_str());
   std::printf("batching lines into the 2048-word kernel buffers amortizes the\n"
               "~12k-cycle driver entry; the FPGA time break point moves from\n"
@@ -60,6 +87,7 @@ int main(int argc, char** argv) {
                                   EngineChoice::kFpgaBatched,
                                   EngineChoice::kAdaptive};
   double serial_fpga_fps_full = 0.0, piped_batch_fps_full = 0.0;
+  json::Value jfps = json::Value::array();
   for (const sched::FrameSize& size : sched::paper_frame_sizes()) {
     for (EngineChoice choice : engines) {
       // One overlapped run per cell: run_pipelined also reports the additive
@@ -85,8 +113,16 @@ int main(int argc, char** argv) {
                    TextTable::num(piped.speedup_vs_serial(), 2) + "x",
                    TextTable::num(serial_mj_frame, 2),
                    TextTable::num(piped.energy_per_frame_mj(), 2)});
+      jfps.push(json::Value::object()
+                    .set("size", size.label())
+                    .set("engine", engine_label(choice))
+                    .set("serial_fps", serial_fps)
+                    .set("pipelined_fps", piped.sustained_fps)
+                    .set("serial_mj_per_frame", serial_mj_frame)
+                    .set("pipelined_mj_per_frame", piped.energy_per_frame_mj()));
     }
   }
+  jrun.set("frame_pipeline", std::move(jfps));
   std::printf("%s\n", fps.to_string().c_str());
   std::printf("CPU-only engines cannot overlap (every stage needs the PS core);\n"
               "the FPGA engines overlap frame N's PL transform with frame N-1's\n"
@@ -101,6 +137,7 @@ int main(int argc, char** argv) {
   std::printf("[3] pipeline fill amortization, FPGA+batch at 88x72\n\n");
   TextTable depth({"frames in flight", "serial (s)", "pipelined (s)", "speedup",
                    "sustained fps"});
+  json::Value jdepth = json::Value::array();
   for (int frames : {1, 2, 4, 8, options.frames}) {
     sched::BatchedFpgaBackend backend;
     const auto piped = sched::probe_pipelined(backend, {88, 72}, frames);
@@ -109,9 +146,62 @@ int main(int argc, char** argv) {
                    TextTable::num(piped.makespan.sec(), 3),
                    TextTable::num(piped.speedup_vs_serial(), 2) + "x",
                    TextTable::num(piped.sustained_fps, 1)});
+    jdepth.push(json::Value::object()
+                    .set("frames", frames)
+                    .set("serial_s", piped.serial_total.sec())
+                    .set("pipelined_s", piped.makespan.sec())
+                    .set("sustained_fps", piped.sustained_fps));
   }
+  jrun.set("depth_sweep", std::move(jdepth));
   std::printf("%s\n", depth.to_string().c_str());
   std::printf("a single frame cannot pipeline (speedup 1.00x); the win saturates\n"
-              "once the fill and drain slots amortize over the frame stream.\n");
+              "once the fill and drain slots amortize over the frame stream.\n\n");
+
+  // --- 4: host wall-clock vs --threads ---------------------------------------
+  // Same workload (FPGA+batch frame stream at 88x72) at 1 host thread and at
+  // the configured width. The modeled columns must agree bit-for-bit — only
+  // the wall-clock column is allowed to move.
+  const int threads = host::default_threads();
+  std::printf("[4] host wall-clock, FPGA+batch at 88x72, %d frames\n\n",
+              options.frames);
+  const std::vector<sched::FramePair> stream =
+      sched::make_sweep_frames({88, 72}, options.frames);
+  auto timed_run = [&stream](int nthreads, sched::PipelineRunResult* out) {
+    sched::BatchedFpgaBackend::Options bo;
+    bo.host.threads = nthreads;
+    sched::BatchedFpgaBackend backend(bo);
+    return wall_seconds([&] { *out = sched::run_pipelined(backend, stream); });
+  };
+  sched::PipelineRunResult serial_run, threaded_run;
+  const double serial_wall = timed_run(1, &serial_run);
+  const double threaded_wall = timed_run(threads, &threaded_run);
+  const bool modeled_identical =
+      serial_run.makespan == threaded_run.makespan &&
+      serial_run.serial_total == threaded_run.serial_total &&
+      serial_run.energy_mj == threaded_run.energy_mj;
+  TextTable wall({"host threads", "wall (ms)", "speedup", "modeled identical"});
+  wall.add_row({"1", TextTable::num(serial_wall * 1e3, 1), "1.00x", "-"});
+  wall.add_row({std::to_string(threads), TextTable::num(threaded_wall * 1e3, 1),
+                TextTable::num(serial_wall / threaded_wall, 2) + "x",
+                modeled_identical ? "yes" : "NO"});
+  std::printf("%s\n", wall.to_string().c_str());
+  std::printf("host threads change how fast the numerics compute, never what the\n"
+              "modeled ZC702 reports (accounting replays serially; see DESIGN.md).\n");
+  if (!modeled_identical) {
+    std::fprintf(stderr, "fatal: modeled output changed with --threads\n");
+    return 1;
+  }
+  jrun.set("host_wall_clock",
+           json::Value::object()
+               .set("threads", threads)
+               .set("wall_s_1_thread", serial_wall)
+               .set("wall_s_n_threads", threaded_wall)
+               .set("speedup", serial_wall / threaded_wall)
+               .set("modeled_identical", modeled_identical));
+
+  if (!options.json_path.empty()) {
+    if (!json::write_file(options.json_path, jrun)) return 1;
+    std::printf("\nwrote %s\n", options.json_path.c_str());
+  }
   return 0;
 }

@@ -15,10 +15,13 @@
 #include <string>
 #include <vector>
 
+#include "src/common/json.h"
 #include "src/common/table.h"
+#include "src/common/thread_pool.h"
 #include "src/sched/adaptive.h"
 #include "src/sched/calibrate.h"
 #include "src/sched/pipeline.h"
+#include "src/simd/dispatch.h"
 
 namespace vf::bench {
 
@@ -28,12 +31,19 @@ inline constexpr int kPaperFrameCount = 10;  // "10 input frames were decomposed
 // CLI options shared by every bench binary so `bench_realtime` and
 // `bench_pipeline` (and any future bench) parse identically:
 //
-//   --frames N    frames per probe run (default: the paper's 10)
-//   --pipeline    enable the frame-level event-queue pipeline where the
-//                 bench supports it (ignored otherwise)
+//   --frames N     frames per probe run (default: the paper's 10)
+//   --pipeline     enable the frame-level event-queue pipeline where the
+//                  bench supports it (ignored otherwise)
+//   --threads N    host pool width for the numeric work (default: all
+//                  hardware threads; modeled time is bit-identical at any N)
+//   --kernels K    kernel flavour: scalar | simd (default) | autovec
+//   --json PATH    also write the bench's results as JSON
 struct BenchOptions {
   int frames = kPaperFrameCount;
   bool pipeline = false;
+  int threads = 0;  // 0 = hardware_concurrency
+  std::string kernels;
+  std::string json_path;
 };
 
 inline BenchOptions parse_bench_options(int argc, char** argv) {
@@ -47,14 +57,50 @@ inline BenchOptions parse_bench_options(int argc, char** argv) {
       }
     } else if (std::strcmp(argv[i], "--pipeline") == 0) {
       options.pipeline = true;
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      options.threads = std::atoi(argv[++i]);
+      if (options.threads < 1) {
+        std::fprintf(stderr, "--threads wants a positive count, got '%s'\n", argv[i]);
+        std::exit(2);
+      }
+    } else if (std::strcmp(argv[i], "--kernels") == 0 && i + 1 < argc) {
+      options.kernels = argv[++i];
+      if (!simd::set_active_kernels(options.kernels.c_str())) {
+        std::fprintf(stderr,
+                     "unknown kernel flavour '%s' (supported: scalar, simd, "
+                     "autovec)\n",
+                     options.kernels.c_str());
+        std::exit(2);
+      }
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      options.json_path = argv[++i];
     } else {
       std::fprintf(stderr,
-                   "unknown argument '%s' (supported: --frames N, --pipeline)\n",
+                   "unknown argument '%s' (supported: --frames N, --pipeline, "
+                   "--threads N, --kernels scalar|simd|autovec, --json PATH)\n",
                    argv[i]);
       std::exit(2);
     }
   }
+  // Benches default to the full machine; the library default stays serial so
+  // embedders and unit tests opt in explicitly.
+  host::set_default_threads(options.threads > 0 ? options.threads
+                                                : host::hardware_threads());
   return options;
+}
+
+// Shared --json envelope: schema header + the run's harness configuration.
+inline json::Value json_run_header(const char* bench, const BenchOptions& options) {
+  json::Value run = json::Value::object();
+  run.set("schema", "vf-bench-v1");
+  run.set("bench", bench);
+  json::Value host = json::Value::object();
+  host.set("threads", host::default_threads());
+  host.set("kernels", simd::active_kernels().name);
+  host.set("simd_isa", simd::simd_isa_name());
+  run.set("host", std::move(host));
+  run.set("frames", options.frames);
+  return run;
 }
 
 // For benches with no frame-stream probe (single-frame quality ablations,

@@ -1,0 +1,155 @@
+// Minimal ordered JSON writer for bench result files (--json). Write-only on
+// purpose: benches emit machine-readable runs for CI trend tracking
+// (BENCH_baseline.json), nothing in the tree parses JSON back.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace vf::json {
+
+class Value {
+ public:
+  Value() : kind_(Kind::kNull) {}
+  Value(bool b) : kind_(Kind::kBool), bool_(b) {}
+  Value(int n) : kind_(Kind::kInt), int_(n) {}
+  Value(long long n) : kind_(Kind::kInt), int_(n) {}
+  Value(double d) : kind_(Kind::kDouble), double_(d) {}
+  Value(const char* s) : kind_(Kind::kString), string_(s) {}
+  Value(std::string s) : kind_(Kind::kString), string_(std::move(s)) {}
+
+  static Value object() {
+    Value v;
+    v.kind_ = Kind::kObject;
+    return v;
+  }
+  static Value array() {
+    Value v;
+    v.kind_ = Kind::kArray;
+    return v;
+  }
+
+  // Object insertion, preserving key order.
+  Value& set(const std::string& key, Value v) {
+    members_.emplace_back(key, std::move(v));
+    return *this;
+  }
+  // Array append.
+  Value& push(Value v) {
+    members_.emplace_back(std::string(), std::move(v));
+    return *this;
+  }
+
+  std::string dump(int indent = 0) const {
+    std::string out;
+    write(&out, indent, 0);
+    return out;
+  }
+
+ private:
+  enum class Kind { kNull, kBool, kInt, kDouble, kString, kObject, kArray };
+
+  static void append_escaped(std::string* out, const std::string& s) {
+    out->push_back('"');
+    for (char c : s) {
+      switch (c) {
+        case '"':
+          *out += "\\\"";
+          break;
+        case '\\':
+          *out += "\\\\";
+          break;
+        case '\n':
+          *out += "\\n";
+          break;
+        case '\t':
+          *out += "\\t";
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            *out += buf;
+          } else {
+            out->push_back(c);
+          }
+      }
+    }
+    out->push_back('"');
+  }
+
+  void write(std::string* out, int indent, int depth) const {
+    const std::string pad(static_cast<std::size_t>(indent) * (depth + 1), ' ');
+    const std::string close_pad(static_cast<std::size_t>(indent) * depth, ' ');
+    const char* nl = indent > 0 ? "\n" : "";
+    char buf[64];
+    switch (kind_) {
+      case Kind::kNull:
+        *out += "null";
+        return;
+      case Kind::kBool:
+        *out += bool_ ? "true" : "false";
+        return;
+      case Kind::kInt:
+        std::snprintf(buf, sizeof(buf), "%lld", int_);
+        *out += buf;
+        return;
+      case Kind::kDouble:
+        // %.17g round-trips an IEEE double exactly.
+        std::snprintf(buf, sizeof(buf), "%.17g", double_);
+        *out += buf;
+        return;
+      case Kind::kString:
+        append_escaped(out, string_);
+        return;
+      case Kind::kObject:
+      case Kind::kArray: {
+        const bool obj = kind_ == Kind::kObject;
+        *out += obj ? "{" : "[";
+        bool first = true;
+        for (const auto& m : members_) {
+          if (!first) *out += ",";
+          first = false;
+          *out += nl;
+          *out += pad;
+          if (obj) {
+            append_escaped(out, m.first);
+            *out += indent > 0 ? ": " : ":";
+          }
+          m.second.write(out, indent, depth + 1);
+        }
+        if (!first) {
+          *out += nl;
+          *out += close_pad;
+        }
+        *out += obj ? "}" : "]";
+        return;
+      }
+    }
+  }
+
+  Kind kind_;
+  bool bool_ = false;
+  long long int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<std::pair<std::string, Value>> members_;
+};
+
+// Returns false (and prints to stderr) if the file cannot be written.
+inline bool write_file(const std::string& path, const Value& value, int indent = 2) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write '%s'\n", path.c_str());
+    return false;
+  }
+  const std::string text = value.dump(indent);
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace vf::json

@@ -178,77 +178,109 @@ int required_slots(const FilterBank& bank) { return bank.taps(); }
 
 // --- LineFilter implementations ---------------------------------------------
 
+const simd::KernelSet& LineFilter::kernels() const { return simd::active_kernels(); }
+
+void LineFilter::analyze(const float* ext, int out_len, const float* lp,
+                         const float* hp, int taps, float* lo, float* hi) {
+  kernels().analyze(ext, out_len, lp, hp, taps, lo, hi);
+  account_analyze(out_len, taps);
+}
+
+void LineFilter::synthesize(const float* ext, int pairs, const float* ca,
+                            const float* cb, int taps, float* out) {
+  kernels().synthesize(ext, pairs, ca, cb, taps, out);
+  account_synthesize(pairs, taps);
+}
+
+// The three fusion-rule kernels are elementwise, so chunking over the pool
+// cannot change any output bit: every flavour computes element i identically
+// whether it lands in a vector body or a scalar tail. The single account_*
+// call stays on the caller thread either way.
 void LineFilter::magnitude(const float* re, const float* im, int n, float* mag) {
-  simd::complex_magnitude_scalar(re, im, n, mag);
+  const simd::KernelSet& k = kernels();
+  ThreadPool* p = splittable() ? pool() : nullptr;
+  if (p != nullptr) {
+    parallel_chunks(p, 0, n,
+                    [&](int b, int e) { k.magnitude(re + b, im + b, e - b, mag + b); });
+  } else {
+    k.magnitude(re, im, n, mag);
+  }
+  account_magnitude(n);
 }
 
 void LineFilter::select(const float* a_re, const float* a_im, const float* b_re,
                         const float* b_im, const float* mag_a, const float* mag_b,
                         int n, float* out_re, float* out_im) {
-  simd::select_by_magnitude_scalar(a_re, a_im, b_re, b_im, mag_a, mag_b, n, out_re,
-                                   out_im);
+  const simd::KernelSet& k = kernels();
+  ThreadPool* p = splittable() ? pool() : nullptr;
+  if (p != nullptr) {
+    parallel_chunks(p, 0, n, [&](int b, int e) {
+      k.select(a_re + b, a_im + b, b_re + b, b_im + b, mag_a + b, mag_b + b, e - b,
+               out_re + b, out_im + b);
+    });
+  } else {
+    k.select(a_re, a_im, b_re, b_im, mag_a, mag_b, n, out_re, out_im);
+  }
+  account_select(n);
 }
 
-void ScalarLineFilter::analyze(const float* ext, int out_len, const float* lp,
-                               const float* hp, int taps, float* lo, float* hi) {
-  simd::dual_corr_decimate2_scalar(ext, out_len, lp, hp, taps, lo, hi);
-  stats_.analysis_macs += 2LL * out_len * taps;
-  stats_.analysis_lines += 1;
-}
-
-void ScalarLineFilter::synthesize(const float* ext, int pairs, const float* ca,
-                                  const float* cb, int taps, float* out) {
-  simd::dual_corr_decimate2_ileave_scalar(ext, pairs, ca, cb, taps, out);
-  stats_.synthesis_macs += 2LL * pairs * taps;
-  stats_.synthesis_lines += 1;
-}
-
-void SimdLineFilter::analyze(const float* ext, int out_len, const float* lp,
-                             const float* hp, int taps, float* lo, float* hi) {
-  simd::dual_corr_decimate2_simd(ext, out_len, lp, hp, taps, lo, hi);
-  stats_.analysis_macs += 2LL * out_len * taps;
-  stats_.analysis_lines += 1;
-}
-
-void SimdLineFilter::synthesize(const float* ext, int pairs, const float* ca,
-                                const float* cb, int taps, float* out) {
-  simd::dual_corr_decimate2_ileave_simd(ext, pairs, ca, cb, taps, out);
-  stats_.synthesis_macs += 2LL * pairs * taps;
-  stats_.synthesis_lines += 1;
+void LineFilter::average(const float* a, const float* b, int n, float* out) {
+  const simd::KernelSet& k = kernels();
+  ThreadPool* p = splittable() ? pool() : nullptr;
+  if (p != nullptr) {
+    parallel_chunks(p, 0, n,
+                    [&](int b0, int e) { k.average(a + b0, b + b0, e - b0, out + b0); });
+  } else {
+    k.average(a, b, n, out);
+  }
 }
 
 // --- 1-D line transforms ----------------------------------------------------
 
 namespace {
+
 inline int wrap(int k, int n) {
   k %= n;
   return k < 0 ? k + n : k;
 }
-}  // namespace
 
-void analyze_line(LineFilter& f, const FilterBank& bank, const float* x, int n,
-                  float* lo, float* hi, std::vector<float>& scratch) {
-  assert(n % 2 == 0);
-  const int taps = bank.taps();
-  const int ext_len = n + taps;
+// Periodic extension for one analysis line; returns scratch.data().
+const float* extend_analysis(const FilterBank& bank, const float* x, int n,
+                             std::vector<float>& scratch) {
+  const int ext_len = n + bank.taps();
   if (static_cast<int>(scratch.size()) < ext_len) scratch.resize(ext_len);
   for (int k = 0; k < ext_len; ++k) {
     scratch[k] = x[wrap(k - bank.analysis_offset, n)];
   }
-  f.analyze(scratch.data(), n / 2, bank.lp.data(), bank.hp.data(), taps, lo, hi);
+  return scratch.data();
 }
 
-void synthesize_line(LineFilter& f, const FilterBank& bank, const float* lo,
-                     const float* hi, int n, float* y, std::vector<float>& scratch) {
-  assert(n % 2 == 0);
-  const int taps = bank.synth_taps();
-  const int ext_len = n + taps;
+// Periodic extension of the interleaved lo/hi stream for one synthesis line.
+const float* extend_synthesis(const FilterBank& bank, const float* lo,
+                              const float* hi, int n, std::vector<float>& scratch) {
+  const int ext_len = n + bank.synth_taps();
   if (static_cast<int>(scratch.size()) < ext_len) scratch.resize(ext_len);
   for (int k = 0; k < ext_len; ++k) {
     const int src = wrap(k - bank.synthesis_offset, n);
     scratch[k] = (src & 1) ? hi[src / 2] : lo[src / 2];
   }
-  f.synthesize(scratch.data(), n / 2, bank.ca.data(), bank.cb.data(), taps, y);
+  return scratch.data();
+}
+
+}  // namespace
+
+void analyze_line(LineFilter& f, const FilterBank& bank, const float* x, int n,
+                  float* lo, float* hi, std::vector<float>& scratch) {
+  assert(n % 2 == 0);
+  const float* ext = extend_analysis(bank, x, n, scratch);
+  f.analyze(ext, n / 2, bank.lp.data(), bank.hp.data(), bank.taps(), lo, hi);
+}
+
+void synthesize_line(LineFilter& f, const FilterBank& bank, const float* lo,
+                     const float* hi, int n, float* y, std::vector<float>& scratch) {
+  assert(n % 2 == 0);
+  const float* ext = extend_synthesis(bank, lo, hi, n, scratch);
+  f.synthesize(ext, n / 2, bank.ca.data(), bank.cb.data(), bank.synth_taps(), y);
 }
 
 // --- 2-D transform ----------------------------------------------------------
@@ -282,14 +314,35 @@ struct LevelOut {
 };
 
 // One separable analysis level: rows with `row_bank`, columns with `col_bank`.
+//
+// The parallel path fans the numeric line loops out over the filter's pool
+// (rows, then columns — lines within a pass are independent) and then runs
+// the accounting loop serially in the same canonical order the serial path
+// interleaves it. Barrier positions are identical in both paths: the modeled
+// engine sees the exact same request sequence either way.
 LevelOut analyze_level(const ImageF& padded, const FilterBank& row_bank,
                        const FilterBank& col_bank, LineFilter& f,
                        std::vector<float>& scratch) {
+  ThreadPool* pool = f.splittable() ? f.pool() : nullptr;
   const int rp = padded.rows();
   const int cp = padded.cols();
   ImageF rowlo(rp, cp / 2), rowhi(rp, cp / 2);
-  for (int r = 0; r < rp; ++r) {
-    analyze_line(f, row_bank, padded.row(r), cp, rowlo.row(r), rowhi.row(r), scratch);
+  if (pool != nullptr) {
+    const simd::KernelSet& k = f.kernels();
+    pool->parallel_for(0, rp, [&](int r0, int r1) {
+      std::vector<float> local;
+      for (int r = r0; r < r1; ++r) {
+        const float* ext = extend_analysis(row_bank, padded.row(r), cp, local);
+        k.analyze(ext, cp / 2, row_bank.lp.data(), row_bank.hp.data(),
+                  row_bank.taps(), rowlo.row(r), rowhi.row(r));
+      }
+    });
+    for (int r = 0; r < rp; ++r) f.account_analyze(cp / 2, row_bank.taps());
+  } else {
+    for (int r = 0; r < rp; ++r) {
+      analyze_line(f, row_bank, padded.row(r), cp, rowlo.row(r), rowhi.row(r),
+                   scratch);
+    }
   }
   f.barrier();  // the column pass reads the row pass's outputs
   LevelOut out;
@@ -297,19 +350,48 @@ LevelOut analyze_level(const ImageF& padded, const FilterBank& row_bank,
   out.lh = ImageF(rp / 2, cp / 2);
   out.hl = ImageF(rp / 2, cp / 2);
   out.hh = ImageF(rp / 2, cp / 2);
-  std::vector<float> col(rp), lo(rp / 2), hi(rp / 2);
-  for (int c = 0; c < cp / 2; ++c) {
-    for (int r = 0; r < rp; ++r) col[r] = rowlo(r, c);
-    analyze_line(f, col_bank, col.data(), rp, lo.data(), hi.data(), scratch);
-    for (int r = 0; r < rp / 2; ++r) {
-      out.ll(r, c) = lo[r];
-      out.lh(r, c) = hi[r];
+  if (pool != nullptr) {
+    const simd::KernelSet& k = f.kernels();
+    pool->parallel_for(0, cp / 2, [&](int c0, int c1) {
+      std::vector<float> local, col(rp), lo(rp / 2), hi(rp / 2);
+      for (int c = c0; c < c1; ++c) {
+        for (int r = 0; r < rp; ++r) col[r] = rowlo(r, c);
+        const float* ext = extend_analysis(col_bank, col.data(), rp, local);
+        k.analyze(ext, rp / 2, col_bank.lp.data(), col_bank.hp.data(),
+                  col_bank.taps(), lo.data(), hi.data());
+        for (int r = 0; r < rp / 2; ++r) {
+          out.ll(r, c) = lo[r];
+          out.lh(r, c) = hi[r];
+        }
+        for (int r = 0; r < rp; ++r) col[r] = rowhi(r, c);
+        ext = extend_analysis(col_bank, col.data(), rp, local);
+        k.analyze(ext, rp / 2, col_bank.lp.data(), col_bank.hp.data(),
+                  col_bank.taps(), lo.data(), hi.data());
+        for (int r = 0; r < rp / 2; ++r) {
+          out.hl(r, c) = lo[r];
+          out.hh(r, c) = hi[r];
+        }
+      }
+    });
+    for (int c = 0; c < cp / 2; ++c) {
+      f.account_analyze(rp / 2, col_bank.taps());
+      f.account_analyze(rp / 2, col_bank.taps());
     }
-    for (int r = 0; r < rp; ++r) col[r] = rowhi(r, c);
-    analyze_line(f, col_bank, col.data(), rp, lo.data(), hi.data(), scratch);
-    for (int r = 0; r < rp / 2; ++r) {
-      out.hl(r, c) = lo[r];
-      out.hh(r, c) = hi[r];
+  } else {
+    std::vector<float> col(rp), lo(rp / 2), hi(rp / 2);
+    for (int c = 0; c < cp / 2; ++c) {
+      for (int r = 0; r < rp; ++r) col[r] = rowlo(r, c);
+      analyze_line(f, col_bank, col.data(), rp, lo.data(), hi.data(), scratch);
+      for (int r = 0; r < rp / 2; ++r) {
+        out.ll(r, c) = lo[r];
+        out.lh(r, c) = hi[r];
+      }
+      for (int r = 0; r < rp; ++r) col[r] = rowhi(r, c);
+      analyze_line(f, col_bank, col.data(), rp, lo.data(), hi.data(), scratch);
+      for (int r = 0; r < rp / 2; ++r) {
+        out.hl(r, c) = lo[r];
+        out.hh(r, c) = hi[r];
+      }
     }
   }
   f.barrier();  // the next level (or consumer) reads this level's outputs
@@ -320,31 +402,77 @@ LevelOut analyze_level(const ImageF& padded, const FilterBank& row_bank,
 ImageF synthesize_level(const ImageF& ll, const LevelBands& bands,
                         const FilterBank& row_bank, const FilterBank& col_bank,
                         LineFilter& f, std::vector<float>& scratch) {
+  ThreadPool* pool = f.splittable() ? f.pool() : nullptr;
   const int rp2 = ll.rows();
   const int cp2 = ll.cols();
   const int rp = rp2 * 2;
   ImageF rowlo(rp, cp2), rowhi(rp, cp2);
-  std::vector<float> lo(rp2), hi(rp2), col(rp);
-  for (int c = 0; c < cp2; ++c) {
-    for (int r = 0; r < rp2; ++r) {
-      lo[r] = ll(r, c);
-      hi[r] = bands.lh(r, c);
+  if (pool != nullptr) {
+    const simd::KernelSet& k = f.kernels();
+    pool->parallel_for(0, cp2, [&](int c0, int c1) {
+      std::vector<float> local, lo(rp2), hi(rp2), col(rp);
+      for (int c = c0; c < c1; ++c) {
+        for (int r = 0; r < rp2; ++r) {
+          lo[r] = ll(r, c);
+          hi[r] = bands.lh(r, c);
+        }
+        const float* ext = extend_synthesis(col_bank, lo.data(), hi.data(), rp, local);
+        k.synthesize(ext, rp / 2, col_bank.ca.data(), col_bank.cb.data(),
+                     col_bank.synth_taps(), col.data());
+        for (int r = 0; r < rp; ++r) rowlo(r, c) = col[r];
+        for (int r = 0; r < rp2; ++r) {
+          lo[r] = bands.hl(r, c);
+          hi[r] = bands.hh(r, c);
+        }
+        ext = extend_synthesis(col_bank, lo.data(), hi.data(), rp, local);
+        k.synthesize(ext, rp / 2, col_bank.ca.data(), col_bank.cb.data(),
+                     col_bank.synth_taps(), col.data());
+        for (int r = 0; r < rp; ++r) rowhi(r, c) = col[r];
+      }
+    });
+    for (int c = 0; c < cp2; ++c) {
+      f.account_synthesize(rp / 2, col_bank.synth_taps());
+      f.account_synthesize(rp / 2, col_bank.synth_taps());
     }
-    synthesize_line(f, col_bank, lo.data(), hi.data(), rp, col.data(), scratch);
-    for (int r = 0; r < rp; ++r) rowlo(r, c) = col[r];
-    for (int r = 0; r < rp2; ++r) {
-      lo[r] = bands.hl(r, c);
-      hi[r] = bands.hh(r, c);
+  } else {
+    std::vector<float> lo(rp2), hi(rp2), col(rp);
+    for (int c = 0; c < cp2; ++c) {
+      for (int r = 0; r < rp2; ++r) {
+        lo[r] = ll(r, c);
+        hi[r] = bands.lh(r, c);
+      }
+      synthesize_line(f, col_bank, lo.data(), hi.data(), rp, col.data(), scratch);
+      for (int r = 0; r < rp; ++r) rowlo(r, c) = col[r];
+      for (int r = 0; r < rp2; ++r) {
+        lo[r] = bands.hl(r, c);
+        hi[r] = bands.hh(r, c);
+      }
+      synthesize_line(f, col_bank, lo.data(), hi.data(), rp, col.data(), scratch);
+      for (int r = 0; r < rp; ++r) rowhi(r, c) = col[r];
     }
-    synthesize_line(f, col_bank, lo.data(), hi.data(), rp, col.data(), scratch);
-    for (int r = 0; r < rp; ++r) rowhi(r, c) = col[r];
   }
   f.barrier();  // the row pass reads the column pass's outputs
   const int cp = cp2 * 2;
   ImageF padded(rp, cp);
-  for (int r = 0; r < rp; ++r) {
-    synthesize_line(f, row_bank, rowlo.row(r), rowhi.row(r), cp, padded.row(r),
-                    scratch);
+  if (pool != nullptr) {
+    const simd::KernelSet& k = f.kernels();
+    pool->parallel_for(0, rp, [&](int r0, int r1) {
+      std::vector<float> local;
+      for (int r = r0; r < r1; ++r) {
+        const float* ext =
+            extend_synthesis(row_bank, rowlo.row(r), rowhi.row(r), cp, local);
+        k.synthesize(ext, cp / 2, row_bank.ca.data(), row_bank.cb.data(),
+                     row_bank.synth_taps(), padded.row(r));
+      }
+    });
+    for (int r = 0; r < rp; ++r) {
+      f.account_synthesize(cp / 2, row_bank.synth_taps());
+    }
+  } else {
+    for (int r = 0; r < rp; ++r) {
+      synthesize_line(f, row_bank, rowlo.row(r), rowhi.row(r), cp, padded.row(r),
+                      scratch);
+    }
   }
   f.barrier();  // the next (shallower) level reads this reconstruction
   // Crop back to the pre-padding size of this level.
@@ -372,6 +500,52 @@ FilterBank bank_for_level(const TransformConfig& config, int level, int tree) {
       return make_filter_bank(base, tree ? 1 : 0);
   }
   return make_filter_bank(base, tree ? 1 : 0);
+}
+
+// Serial replay of one tree's forward accounting: re-derives the per-level
+// line dimensions (they depend only on the input size, never on the data)
+// and issues the exact account/barrier sequence the serial combined path
+// would have interleaved with the numerics.
+void account_forward_tree(int rows, int cols, const TransformConfig& config,
+                          int row_tree, int col_tree, LineFilter& f) {
+  int r = rows, c = cols;
+  for (int level = 0; level < config.levels; ++level) {
+    const FilterBank row_bank = bank_for_level(config, level, row_tree);
+    const FilterBank col_bank = bank_for_level(config, level, col_tree);
+    const int rp = r + (r & 1);
+    const int cp = c + (c & 1);
+    for (int i = 0; i < rp; ++i) f.account_analyze(cp / 2, row_bank.taps());
+    f.barrier();
+    for (int i = 0; i < cp / 2; ++i) {
+      f.account_analyze(rp / 2, col_bank.taps());
+      f.account_analyze(rp / 2, col_bank.taps());
+    }
+    f.barrier();
+    r = rp / 2;
+    c = cp / 2;
+  }
+}
+
+// Serial replay of one tree's inverse accounting (see account_forward_tree).
+void account_inverse_tree(const TreePyramid& pyr, const TransformConfig& config,
+                          int row_tree, int col_tree, LineFilter& f) {
+  int rp2 = pyr.ll.rows(), cp2 = pyr.ll.cols();
+  for (int level = static_cast<int>(pyr.levels.size()) - 1; level >= 0; --level) {
+    const FilterBank row_bank = bank_for_level(config, level, row_tree);
+    const FilterBank col_bank = bank_for_level(config, level, col_tree);
+    for (int i = 0; i < cp2; ++i) {
+      f.account_synthesize(rp2, col_bank.synth_taps());
+      f.account_synthesize(rp2, col_bank.synth_taps());
+    }
+    f.barrier();
+    for (int i = 0; i < 2 * rp2; ++i) {
+      f.account_synthesize(cp2, row_bank.synth_taps());
+    }
+    f.barrier();
+    // The next (shallower) level's ll is this level's cropped reconstruction.
+    rp2 = pyr.levels[level].in_rows;
+    cp2 = pyr.levels[level].in_cols;
+  }
 }
 
 }  // namespace
@@ -417,21 +591,64 @@ ImageF inverse_tree(const TreePyramid& pyr, const TransformConfig& config,
 DtcwtPyramid forward_dtcwt(const ImageF& img, const TransformConfig& config,
                            LineFilter& filter) {
   DtcwtPyramid pyr;
+  ThreadPool* pool = filter.splittable() ? filter.pool() : nullptr;
+  if (pool == nullptr) {
+    for (int t = 0; t < 4; ++t) {
+      pyr.tree[t] = forward_tree(img, config, t >> 1, t & 1, filter);
+    }
+    return pyr;
+  }
+  // Tree-parallel path: the four trees are fully independent numerically, so
+  // each runs through a pure KernelLineFilter on the pool (no per-tree
+  // accounting, no nested parallelism). The real filter's accounting —
+  // including any accelerator-model state — is then replayed serially in the
+  // same tree order the serial path uses.
+  const simd::KernelSet& kernels = filter.kernels();
+  pool->parallel_for(0, 4, [&](int t0, int t1) {
+    KernelLineFilter pure(kernels);
+    for (int t = t0; t < t1; ++t) {
+      pyr.tree[t] = forward_tree(img, config, t >> 1, t & 1, pure);
+    }
+  });
   for (int t = 0; t < 4; ++t) {
-    pyr.tree[t] = forward_tree(img, config, t >> 1, t & 1, filter);
+    account_forward_tree(img.rows(), img.cols(), config, t >> 1, t & 1, filter);
   }
   return pyr;
 }
 
 ImageF inverse_dtcwt(const DtcwtPyramid& pyr, const TransformConfig& config,
                      LineFilter& filter) {
-  ImageF acc;
+  ThreadPool* pool = filter.splittable() ? filter.pool() : nullptr;
+  if (pool == nullptr) {
+    ImageF acc;
+    for (int t = 0; t < 4; ++t) {
+      ImageF rec = inverse_tree(pyr.tree[t], config, t >> 1, t & 1, filter);
+      if (t == 0) {
+        acc = std::move(rec);
+      } else {
+        for (std::size_t i = 0; i < acc.size(); ++i) acc.data()[i] += rec.data()[i];
+      }
+    }
+    for (std::size_t i = 0; i < acc.size(); ++i) acc.data()[i] *= 0.25f;
+    return acc;
+  }
+  ImageF recs[4];
+  const simd::KernelSet& kernels = filter.kernels();
+  pool->parallel_for(0, 4, [&](int t0, int t1) {
+    KernelLineFilter pure(kernels);
+    for (int t = t0; t < t1; ++t) {
+      recs[t] = inverse_tree(pyr.tree[t], config, t >> 1, t & 1, pure);
+    }
+  });
   for (int t = 0; t < 4; ++t) {
-    ImageF rec = inverse_tree(pyr.tree[t], config, t >> 1, t & 1, filter);
-    if (t == 0) {
-      acc = std::move(rec);
-    } else {
-      for (std::size_t i = 0; i < acc.size(); ++i) acc.data()[i] += rec.data()[i];
+    account_inverse_tree(pyr.tree[t], config, t >> 1, t & 1, filter);
+  }
+  // Combine in the serial path's exact order (float summation order matters
+  // for bit-identity).
+  ImageF acc = std::move(recs[0]);
+  for (int t = 1; t < 4; ++t) {
+    for (std::size_t i = 0; i < acc.size(); ++i) {
+      acc.data()[i] += recs[t].data()[i];
     }
   }
   for (std::size_t i = 0; i < acc.size(); ++i) acc.data()[i] *= 0.25f;

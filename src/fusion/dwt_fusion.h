@@ -22,7 +22,9 @@
 #include <string>
 #include <vector>
 
+#include "src/common/thread_pool.h"
 #include "src/image/metrics.h"
+#include "src/simd/dispatch.h"
 
 namespace vf::dwt {
 
@@ -68,8 +70,29 @@ struct FilterStats {
 
 // A LineFilter executes one line-sized kernel request at a time — the same
 // granularity at which the paper's driver feeds the PL engine. Subclasses
-// pick the implementation (scalar / 4-lane SIMD / fixed-point datapath /
+// pick the implementation (scalar / SIMD / fixed-point datapath /
 // time-accounted engine models in src/sched).
+//
+// The interface is split into two halves so host execution can parallelize
+// without perturbing modeled time:
+//
+//   kernels()    pure numeric implementations (a simd::KernelSet). Thread-
+//                safe by construction — the transform's parallel paths call
+//                them from pool workers.
+//   account_*()  modeled-time / statistics bookkeeping: exactly one call per
+//                line, in canonical line order, always on the caller thread.
+//                Accounting is inherently order-dependent (double-precision
+//                ledgers, accelerator double-buffer state, event-queue
+//                scheduling), so it is never fanned out; parallel paths run
+//                the numerics first and then replay the account_*/barrier()
+//                sequence serially — which is why modeled output is
+//                bit-identical at any thread count.
+//
+// The combined entry points (analyze/synthesize/magnitude/select) default to
+// kernels() + account_*() and are what the serial path calls; filters whose
+// numerics are not expressible as a KernelSet (the fixed-point datapath)
+// override them and return splittable() == false so every path stays serial
+// and combined.
 class LineFilter {
  public:
   virtual ~LineFilter() = default;
@@ -82,43 +105,101 @@ class LineFilter {
   // before the producing outputs have landed.
   virtual void barrier() {}
 
+  // --- split half: pure numerics + serial accounting -----------------------
+  virtual const simd::KernelSet& kernels() const;  // default: active_kernels()
+  virtual void account_analyze(int out_len, int taps) {
+    (void)out_len;
+    (void)taps;
+  }
+  virtual void account_synthesize(int pairs, int taps) {
+    (void)pairs;
+    (void)taps;
+  }
+  virtual void account_magnitude(int n) { (void)n; }
+  virtual void account_select(int n) { (void)n; }
+
+  // False when the combined entry points do more than kernels()+account_*()
+  // (fixed-point quantizing datapath); such filters always run serial.
+  virtual bool splittable() const { return true; }
+  // Host pool for data-parallel numeric work; nullptr = serial execution.
+  // Modeled time is unaffected by the pool (see account_* above).
+  virtual ThreadPool* pool() const { return nullptr; }
+
+  // --- combined entry points (kernels + accounting) -------------------------
   virtual void analyze(const float* ext, int out_len, const float* lp, const float* hp,
-                       int taps, float* lo, float* hi) = 0;
+                       int taps, float* lo, float* hi);
   virtual void synthesize(const float* ext, int pairs, const float* ca, const float* cb,
-                          int taps, float* out) = 0;
-  // Fusion-rule kernels; scalar by default, backends may re-route/account.
+                          int taps, float* out);
+  // Fusion-rule kernels; whole-subband requests, chunked over pool().
   virtual void magnitude(const float* re, const float* im, int n, float* mag);
   virtual void select(const float* a_re, const float* a_im, const float* b_re,
                       const float* b_im, const float* mag_a, const float* mag_b, int n,
                       float* out_re, float* out_im);
+  // Lowpass-residual averaging. Not time-accounted: the paper folds it into
+  // the fusion rule's bookkeeping, and no backend ever charged for it.
+  virtual void average(const float* a, const float* b, int n, float* out);
+};
+
+// Pure numeric filter over a fixed KernelSet: no accounting, no pool, no
+// barriers. The per-worker execution vehicle of the tree-parallel paths in
+// forward_dtcwt/inverse_dtcwt (numerics fan out through this; the real
+// filter's accounting is replayed serially afterwards).
+class KernelLineFilter : public LineFilter {
+ public:
+  KernelLineFilter() : kernels_(&simd::active_kernels()) {}
+  explicit KernelLineFilter(const simd::KernelSet& kernels) : kernels_(&kernels) {}
+  const simd::KernelSet& kernels() const override { return *kernels_; }
+
+ private:
+  const simd::KernelSet* kernels_;
 };
 
 class ScalarLineFilter : public LineFilter {
  public:
-  void analyze(const float* ext, int out_len, const float* lp, const float* hp, int taps,
-               float* lo, float* hi) override;
-  void synthesize(const float* ext, int pairs, const float* ca, const float* cb,
-                  int taps, float* out) override;
+  ScalarLineFilter() = default;
+  explicit ScalarLineFilter(const HostConfig& host) : pool_(host::pool(host)) {}
+
+  const simd::KernelSet& kernels() const override { return simd::scalar_kernels(); }
+  ThreadPool* pool() const override { return pool_; }
+  void account_analyze(int out_len, int taps) override {
+    stats_.analysis_macs += 2LL * out_len * taps;
+    stats_.analysis_lines += 1;
+  }
+  void account_synthesize(int pairs, int taps) override {
+    stats_.synthesis_macs += 2LL * pairs * taps;
+    stats_.synthesis_lines += 1;
+  }
 
   void reset_stats() { stats_ = {}; }
   const FilterStats& stats() const { return stats_; }
 
  private:
   FilterStats stats_;
+  ThreadPool* pool_ = nullptr;
 };
 
 class SimdLineFilter : public LineFilter {
  public:
-  void analyze(const float* ext, int out_len, const float* lp, const float* hp, int taps,
-               float* lo, float* hi) override;
-  void synthesize(const float* ext, int pairs, const float* ca, const float* cb,
-                  int taps, float* out) override;
+  SimdLineFilter() = default;
+  explicit SimdLineFilter(const HostConfig& host) : pool_(host::pool(host)) {}
+
+  const simd::KernelSet& kernels() const override { return simd::simd_kernels(); }
+  ThreadPool* pool() const override { return pool_; }
+  void account_analyze(int out_len, int taps) override {
+    stats_.analysis_macs += 2LL * out_len * taps;
+    stats_.analysis_lines += 1;
+  }
+  void account_synthesize(int pairs, int taps) override {
+    stats_.synthesis_macs += 2LL * pairs * taps;
+    stats_.synthesis_lines += 1;
+  }
 
   void reset_stats() { stats_ = {}; }
   const FilterStats& stats() const { return stats_; }
 
  private:
   FilterStats stats_;
+  ThreadPool* pool_ = nullptr;
 };
 
 // --- 1-D line transforms ----------------------------------------------------
@@ -139,7 +220,7 @@ struct TransformConfig {
 };
 
 struct LevelBands {
-  image::ImageF lh, hl, hh;  // row-lo/col-hi, row-hi/col-lo, row-hi/col-hi
+  image::ImageF lh, hl, hh;  // row-lo/col-hi, row-hi/col-lo, row-hi/col-hh
   int in_rows = 0, in_cols = 0;  // pre-padding input dims (crop on inverse)
 };
 
@@ -152,6 +233,8 @@ struct TreePyramid {
 
 // `row_tree`/`col_tree`: 0 = tree A, 1 = tree B (one-sample level-1 delay +
 // reversed q-shift filters at levels >= 2) applied along that dimension.
+// When `filter` is splittable and has a pool, the per-row/per-column numeric
+// loops fan out over the pool (accounting replayed serially per pass).
 TreePyramid forward_tree(const image::ImageF& img, const TransformConfig& config,
                          int row_tree, int col_tree, LineFilter& filter);
 image::ImageF inverse_tree(const TreePyramid& pyr, const TransformConfig& config,
@@ -163,6 +246,10 @@ struct DtcwtPyramid {
   TreePyramid tree[4];
 };
 
+// When `filter` is splittable and has a pool, the four independent trees run
+// their numerics in parallel (through KernelLineFilter) and the filter's
+// account_*/barrier() sequence is replayed serially in tree order — modeled
+// time is bit-identical to the serial path at any thread count.
 DtcwtPyramid forward_dtcwt(const image::ImageF& img, const TransformConfig& config,
                            LineFilter& filter);
 // Averages the four trees' reconstructions.

@@ -24,11 +24,10 @@ void select_band(const ImageF& a_re, const ImageF& a_im, const ImageF& b_re,
                 mag_b.data(), n, out_re->data(), out_im->data());
 }
 
-void average_into(const ImageF& a, const ImageF& b, ImageF* out) {
+void average_into(const ImageF& a, const ImageF& b, ImageF* out,
+                  dwt::LineFilter& filter) {
   *out = ImageF(a.rows(), a.cols());
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    out->data()[i] = 0.5f * (a.data()[i] + b.data()[i]);
-  }
+  filter.average(a.data(), b.data(), static_cast<int>(a.size()), out->data());
 }
 
 const ImageF& band(const dwt::LevelBands& lv, int which) {
@@ -66,7 +65,7 @@ void fuse_pyramids(const dwt::DtcwtPyramid& a, const dwt::DtcwtPyramid& b,
     }
   }
   for (int t = 0; t < 4; ++t) {
-    average_into(a.tree[t].ll, b.tree[t].ll, &out->tree[t].ll);
+    average_into(a.tree[t].ll, b.tree[t].ll, &out->tree[t].ll, filter);
   }
 }
 
@@ -115,7 +114,7 @@ image::ImageF fuse_frames_dwt(const image::ImageF& a, const image::ImageF& b,
                     mag_b.data(), n, out.data(), out_im.data());
     }
   }
-  average_into(pa.ll, pb.ll, &fused.ll);
+  average_into(pa.ll, pb.ll, &fused.ll, filter);
   return dwt::inverse_tree(fused, config.transform, 0, 0, filter);
 }
 

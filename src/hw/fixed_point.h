@@ -35,6 +35,10 @@ class FixedPointLineFilter : public dwt::LineFilter {
   void synthesize(const float* ext, int pairs, const float* ca, const float* cb,
                   int taps, float* out) override;
 
+  // The quantizing datapath is not expressible as a KernelSet, so every
+  // transform path must stay serial and call the combined overrides above.
+  bool splittable() const override { return false; }
+
   const FixedPointFormat& format() const { return fmt_; }
 
  private:

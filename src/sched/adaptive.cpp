@@ -113,44 +113,25 @@ SimDuration TransformBackend::prep_time(int pixels) const {
 
 namespace detail {
 
-void CpuTimedFilter::analyze(const float* ext, int out_len, const float* lp,
-                             const float* hp, int taps, float* lo, float* hi) {
-  if (use_simd_) {
-    simd::dual_corr_decimate2_simd(ext, out_len, lp, hp, taps, lo, hi);
-  } else {
-    simd::dual_corr_decimate2_scalar(ext, out_len, lp, hp, taps, lo, hi);
-  }
+ThreadPool* CpuTimedFilter::pool() const { return owner_->host_pool(); }
+
+void CpuTimedFilter::account_analyze(int out_len, int taps) {
   owner_->charge(
       hw::ps_clock().cycles(model_.analysis_line_cycles(2 * out_len, taps)));
 }
 
-void CpuTimedFilter::synthesize(const float* ext, int pairs, const float* ca,
-                                const float* cb, int taps, float* out) {
-  if (use_simd_) {
-    simd::dual_corr_decimate2_ileave_simd(ext, pairs, ca, cb, taps, out);
-  } else {
-    simd::dual_corr_decimate2_ileave_scalar(ext, pairs, ca, cb, taps, out);
-  }
+void CpuTimedFilter::account_synthesize(int pairs, int taps) {
   owner_->charge(
       hw::ps_clock().cycles(model_.synthesis_line_cycles(2 * pairs, taps)));
 }
 
-void CpuTimedFilter::magnitude(const float* re, const float* im, int n, float* mag) {
-  if (use_simd_) {
-    simd::complex_magnitude_simd(re, im, n, mag);
-  } else {
-    simd::complex_magnitude_scalar(re, im, n, mag);
-  }
+void CpuTimedFilter::account_magnitude(int n) {
   // The fusion rule always runs on the PS at scalar rates — the paper only
   // accelerates the transforms.
   owner_->charge(hw::ps_clock().cycles(model_.magnitude_cycles_per_sample * n));
 }
 
-void CpuTimedFilter::select(const float* a_re, const float* a_im, const float* b_re,
-                            const float* b_im, const float* mag_a, const float* mag_b,
-                            int n, float* out_re, float* out_im) {
-  simd::select_by_magnitude_scalar(a_re, a_im, b_re, b_im, mag_a, mag_b, n, out_re,
-                                   out_im);
+void CpuTimedFilter::account_select(int n) {
   owner_->charge(hw::ps_clock().cycles(model_.select_cycles_per_sample * n));
 }
 
@@ -196,36 +177,32 @@ class FpgaBackend::Filter : public dwt::LineFilter {
   Filter(FpgaBackend* owner, driver::WaveletAccelerator* accel)
       : owner_(owner), accel_(accel), cpu_(arm_cost_model()) {}
 
-  void analyze(const float* ext, int out_len, const float* lp, const float* hp,
-               int taps, float* lo, float* hi) override {
+  ThreadPool* pool() const override { return owner_->host_pool(); }
+
+  // The engine-fit check lives in accounting: it depends only on the request
+  // shape, and accounting sees every request exactly once, in order — so the
+  // refusal still fires (after the numeric fan-out) for unfittable banks.
+  void account_analyze(int out_len, int taps) override {
     check_engine_fit(*accel_, taps, /*synthesis=*/false);
-    simd::dual_corr_decimate2_scalar(ext, out_len, lp, hp, taps, lo, hi);
     owner_->charge(accel_->line_time(
         2 * out_len + taps, 2 * out_len,
         engine_compute_cycles(out_len, accel_->engine().slots)));
     owner_->note_pl(accel_->last_line_pl_time());
   }
 
-  void synthesize(const float* ext, int pairs, const float* ca, const float* cb,
-                  int taps, float* out) override {
+  void account_synthesize(int pairs, int taps) override {
     check_engine_fit(*accel_, taps, /*synthesis=*/true);
-    simd::dual_corr_decimate2_ileave_scalar(ext, pairs, ca, cb, taps, out);
     owner_->charge(accel_->line_time(
         2 * pairs + taps, 2 * pairs,
         engine_compute_cycles(pairs, accel_->engine().slots)));
     owner_->note_pl(accel_->last_line_pl_time());
   }
 
-  void magnitude(const float* re, const float* im, int n, float* mag) override {
-    simd::complex_magnitude_scalar(re, im, n, mag);
+  void account_magnitude(int n) override {
     owner_->charge(hw::ps_clock().cycles(cpu_.magnitude_cycles_per_sample * n));
   }
 
-  void select(const float* a_re, const float* a_im, const float* b_re,
-              const float* b_im, const float* mag_a, const float* mag_b, int n,
-              float* out_re, float* out_im) override {
-    simd::select_by_magnitude_scalar(a_re, a_im, b_re, b_im, mag_a, mag_b, n, out_re,
-                                     out_im);
+  void account_select(int n) override {
     owner_->charge(hw::ps_clock().cycles(cpu_.select_cycles_per_sample * n));
   }
 
@@ -236,8 +213,10 @@ class FpgaBackend::Filter : public dwt::LineFilter {
 };
 
 FpgaBackend::FpgaBackend(const hw::WaveletEngineConfig& engine,
-                         const driver::DriverCosts& costs)
-    : accel_(engine, costs), filter_(std::make_unique<Filter>(this, &accel_)) {}
+                         const driver::DriverCosts& costs, const HostConfig& host)
+    : TransformBackend(host),
+      accel_(engine, costs),
+      filter_(std::make_unique<Filter>(this, &accel_)) {}
 
 FpgaBackend::~FpgaBackend() = default;
 
@@ -245,54 +224,49 @@ dwt::LineFilter& FpgaBackend::line_filter() { return *filter_; }
 
 // --- adaptive backend -------------------------------------------------------
 
+// The router's per-line decision affects only modeled time (the NEON and FPGA
+// paths execute bit-identical numerics), so routing — including the router's
+// own line counters — lives entirely in accounting, where it runs serially in
+// canonical line order at any thread count.
 class AdaptiveBackend::Filter : public dwt::LineFilter {
  public:
   Filter(AdaptiveBackend* owner, driver::WaveletAccelerator* accel,
          LineRouter* router)
       : owner_(owner), accel_(accel), router_(router), neon_(neon_cost_model()) {}
 
-  void analyze(const float* ext, int out_len, const float* lp, const float* hp,
-               int taps, float* lo, float* hi) override {
+  ThreadPool* pool() const override { return owner_->host_pool(); }
+
+  void account_analyze(int out_len, int taps) override {
     if (router_->use_fpga(2 * out_len + taps)) {
       check_engine_fit(*accel_, taps, /*synthesis=*/false);
-      simd::dual_corr_decimate2_scalar(ext, out_len, lp, hp, taps, lo, hi);
       owner_->charge(accel_->line_time(
           2 * out_len + taps, 2 * out_len,
           engine_compute_cycles(out_len, accel_->engine().slots)));
       owner_->note_pl(accel_->last_line_pl_time());
     } else {
-      simd::dual_corr_decimate2_simd(ext, out_len, lp, hp, taps, lo, hi);
       owner_->charge(
           hw::ps_clock().cycles(neon_.analysis_line_cycles(2 * out_len, taps)));
     }
   }
 
-  void synthesize(const float* ext, int pairs, const float* ca, const float* cb,
-                  int taps, float* out) override {
+  void account_synthesize(int pairs, int taps) override {
     if (router_->use_fpga(2 * pairs + taps)) {
       check_engine_fit(*accel_, taps, /*synthesis=*/true);
-      simd::dual_corr_decimate2_ileave_scalar(ext, pairs, ca, cb, taps, out);
       owner_->charge(accel_->line_time(
           2 * pairs + taps, 2 * pairs,
           engine_compute_cycles(pairs, accel_->engine().slots)));
       owner_->note_pl(accel_->last_line_pl_time());
     } else {
-      simd::dual_corr_decimate2_ileave_simd(ext, pairs, ca, cb, taps, out);
       owner_->charge(
           hw::ps_clock().cycles(neon_.synthesis_line_cycles(2 * pairs, taps)));
     }
   }
 
-  void magnitude(const float* re, const float* im, int n, float* mag) override {
-    simd::complex_magnitude_simd(re, im, n, mag);
+  void account_magnitude(int n) override {
     owner_->charge(hw::ps_clock().cycles(neon_.magnitude_cycles_per_sample * n));
   }
 
-  void select(const float* a_re, const float* a_im, const float* b_re,
-              const float* b_im, const float* mag_a, const float* mag_b, int n,
-              float* out_re, float* out_im) override {
-    simd::select_by_magnitude_scalar(a_re, a_im, b_re, b_im, mag_a, mag_b, n, out_re,
-                                     out_im);
+  void account_select(int n) override {
     owner_->charge(hw::ps_clock().cycles(neon_.select_cycles_per_sample * n));
   }
 
@@ -304,7 +278,8 @@ class AdaptiveBackend::Filter : public dwt::LineFilter {
 };
 
 AdaptiveBackend::AdaptiveBackend(const Options& options)
-    : accel_(options.engine, options.driver_costs),
+    : TransformBackend(options.host),
+      accel_(options.engine, options.driver_costs),
       router_(options.threshold_samples),
       filter_(std::make_unique<Filter>(this, &accel_, &router_)) {}
 

@@ -89,6 +89,11 @@ class TransformBackend {
   virtual power::ComputeMode compute_mode() const = 0;
   virtual dwt::LineFilter& line_filter() = 0;
 
+  // Host pool for the numeric half of transform execution. Affects only how
+  // fast the host computes; every modeled time above is charged through the
+  // serial account_* path and is bit-identical at any pool width.
+  ThreadPool* host_pool() const { return host_pool_; }
+
   void begin_frame() {
     times_ = {};
     pl_times_ = {};
@@ -123,6 +128,8 @@ class TransformBackend {
   SimDuration prep_time(int pixels) const;
 
  protected:
+  explicit TransformBackend(const HostConfig& host = {})
+      : host_pool_(host::pool(host)) {}
   void ledger_add(Phase p, SimDuration d);
   void ledger_add_pl(Phase p, SimDuration d);
   virtual void on_begin_frame() {}
@@ -132,6 +139,7 @@ class TransformBackend {
   StageTimes times_;
   StageTimes pl_times_;
   Phase phase_ = Phase::kPrep;
+  ThreadPool* host_pool_ = nullptr;
 };
 
 namespace detail {
@@ -141,31 +149,31 @@ namespace detail {
 void check_engine_fit(const hw::WaveletEngineConfig& engine, int taps,
                       bool synthesis);
 
-// Executes lines with scalar or 4-lane kernels and charges CPU-model time.
+// Charges CPU-model time per line; numerics come from the dispatch set
+// (LineFilter::kernels() default), which is bit-identical across flavours —
+// the *model* constants, not the host instruction set, decide what the
+// backend represents (ARM vs NEON).
 class CpuTimedFilter : public dwt::LineFilter {
  public:
-  CpuTimedFilter(TransformBackend* owner, CpuCostModel model, bool use_simd)
-      : owner_(owner), model_(model), use_simd_(use_simd) {}
+  CpuTimedFilter(TransformBackend* owner, CpuCostModel model)
+      : owner_(owner), model_(model) {}
 
-  void analyze(const float* ext, int out_len, const float* lp, const float* hp,
-               int taps, float* lo, float* hi) override;
-  void synthesize(const float* ext, int pairs, const float* ca, const float* cb,
-                  int taps, float* out) override;
-  void magnitude(const float* re, const float* im, int n, float* mag) override;
-  void select(const float* a_re, const float* a_im, const float* b_re,
-              const float* b_im, const float* mag_a, const float* mag_b, int n,
-              float* out_re, float* out_im) override;
+  ThreadPool* pool() const override;
+  void account_analyze(int out_len, int taps) override;
+  void account_synthesize(int pairs, int taps) override;
+  void account_magnitude(int n) override;
+  void account_select(int n) override;
 
  private:
   TransformBackend* owner_;
   CpuCostModel model_;
-  bool use_simd_;
 };
 }  // namespace detail
 
 class ArmBackend : public TransformBackend {
  public:
-  ArmBackend() : filter_(this, arm_cost_model(), /*use_simd=*/false) {}
+  explicit ArmBackend(const HostConfig& host = {})
+      : TransformBackend(host), filter_(this, arm_cost_model()) {}
   const char* name() const override { return "ARM"; }
   power::ComputeMode compute_mode() const override {
     return power::ComputeMode::kArmOnly;
@@ -178,7 +186,8 @@ class ArmBackend : public TransformBackend {
 
 class NeonBackend : public TransformBackend {
  public:
-  NeonBackend() : filter_(this, neon_cost_model(), /*use_simd=*/true) {}
+  explicit NeonBackend(const HostConfig& host = {})
+      : TransformBackend(host), filter_(this, neon_cost_model()) {}
   const char* name() const override { return "NEON"; }
   power::ComputeMode compute_mode() const override {
     return power::ComputeMode::kArmNeon;
@@ -192,7 +201,8 @@ class NeonBackend : public TransformBackend {
 class FpgaBackend : public TransformBackend {
  public:
   explicit FpgaBackend(const hw::WaveletEngineConfig& engine = {},
-                       const driver::DriverCosts& costs = {});
+                       const driver::DriverCosts& costs = {},
+                       const HostConfig& host = {});
   ~FpgaBackend() override;
   const char* name() const override { return "FPGA"; }
   power::ComputeMode compute_mode() const override {
@@ -239,6 +249,7 @@ class AdaptiveBackend : public TransformBackend {
     int threshold_samples = hw::cost::kAdaptiveThresholdSamples;
     hw::WaveletEngineConfig engine;
     driver::DriverCosts driver_costs;
+    HostConfig host;
   };
 
   AdaptiveBackend() : AdaptiveBackend(Options{}) {}

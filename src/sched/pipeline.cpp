@@ -12,6 +12,12 @@ namespace vf::sched {
 
 // --- BatchedFpgaBackend -----------------------------------------------------
 
+// Batch submission and buffer ping-pong depend only on the request sequence
+// (sizes + barriers), never on sample values, so the whole Timeline
+// interaction lives in accounting: the serial account_*/barrier() replay
+// reproduces the exact event schedule at any host thread count. The fusion
+// rule routes through kernels() (the dispatch set) instead of hard-coding
+// the scalar magnitude/select kernels as the old combined overrides did.
 class BatchedFpgaBackend::Filter : public dwt::LineFilter {
  public:
   Filter(BatchedFpgaBackend* owner, driver::PipelinedWaveletAccelerator* accel)
@@ -19,34 +25,27 @@ class BatchedFpgaBackend::Filter : public dwt::LineFilter {
 
   void barrier() override { accel_->barrier(); }
 
-  void analyze(const float* ext, int out_len, const float* lp, const float* hp,
-               int taps, float* lo, float* hi) override {
+  ThreadPool* pool() const override { return owner_->host_pool(); }
+
+  void account_analyze(int out_len, int taps) override {
     detail::check_engine_fit(accel_->engine(), taps, /*synthesis=*/false);
-    simd::dual_corr_decimate2_scalar(ext, out_len, lp, hp, taps, lo, hi);
     accel_->submit_line(2 * out_len + taps, 2 * out_len,
                         hw::cost::engine_compute_cycles(out_len,
                                                         accel_->engine().slots));
   }
 
-  void synthesize(const float* ext, int pairs, const float* ca, const float* cb,
-                  int taps, float* out) override {
+  void account_synthesize(int pairs, int taps) override {
     detail::check_engine_fit(accel_->engine(), taps, /*synthesis=*/true);
-    simd::dual_corr_decimate2_ileave_scalar(ext, pairs, ca, cb, taps, out);
     accel_->submit_line(2 * pairs + taps, 2 * pairs,
                         hw::cost::engine_compute_cycles(pairs,
                                                         accel_->engine().slots));
   }
 
-  void magnitude(const float* re, const float* im, int n, float* mag) override {
-    simd::complex_magnitude_scalar(re, im, n, mag);
+  void account_magnitude(int n) override {
     owner_->charge(hw::ps_clock().cycles(cpu_.magnitude_cycles_per_sample * n));
   }
 
-  void select(const float* a_re, const float* a_im, const float* b_re,
-              const float* b_im, const float* mag_a, const float* mag_b, int n,
-              float* out_re, float* out_im) override {
-    simd::select_by_magnitude_scalar(a_re, a_im, b_re, b_im, mag_a, mag_b, n, out_re,
-                                     out_im);
+  void account_select(int n) override {
     owner_->charge(hw::ps_clock().cycles(cpu_.select_cycles_per_sample * n));
   }
 
@@ -57,7 +56,8 @@ class BatchedFpgaBackend::Filter : public dwt::LineFilter {
 };
 
 BatchedFpgaBackend::BatchedFpgaBackend(const Options& options)
-    : ps_(timeline_.add_resource("PS core")),
+    : TransformBackend(options.host),
+      ps_(timeline_.add_resource("PS core")),
       dma_(timeline_.add_resource("ACP DMA")),
       pl_(timeline_.add_resource("PL engine")),
       accel_(options.engine, options.driver_costs, options.batching, &timeline_,

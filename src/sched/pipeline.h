@@ -44,6 +44,7 @@ class BatchedFpgaBackend : public TransformBackend {
     hw::WaveletEngineConfig engine;
     driver::DriverCosts driver_costs;
     driver::PipelinedWaveletAccelerator::Batching batching;
+    HostConfig host;
   };
 
   BatchedFpgaBackend() : BatchedFpgaBackend(Options{}) {}

@@ -1,0 +1,62 @@
+#include "src/simd/dispatch.h"
+
+#include <cstring>
+
+namespace vf::simd {
+
+const KernelSet& scalar_kernels() {
+  static const KernelSet set = {
+      "scalar",
+      dual_corr_decimate2_scalar,
+      dual_corr_decimate2_ileave_scalar,
+      complex_magnitude_scalar,
+      select_by_magnitude_scalar,
+      average_scalar,
+  };
+  return set;
+}
+
+const KernelSet& simd_kernels() {
+  static const KernelSet set = {
+      "simd",
+      dual_corr_decimate2_simd,
+      dual_corr_decimate2_ileave_simd,
+      complex_magnitude_simd,
+      select_by_magnitude_simd,
+      average_simd,
+  };
+  return set;
+}
+
+const KernelSet& autovec_kernels() {
+  static const KernelSet set = {
+      "autovec",
+      dual_corr_decimate2_autovec,
+      dual_corr_decimate2_ileave_autovec,
+      complex_magnitude_autovec,
+      select_by_magnitude_autovec,
+      average_autovec,
+  };
+  return set;
+}
+
+namespace {
+const KernelSet* g_active = &simd_kernels();
+}  // namespace
+
+const KernelSet& active_kernels() { return *g_active; }
+
+bool set_active_kernels(const char* name) {
+  if (std::strcmp(name, "scalar") == 0) {
+    g_active = &scalar_kernels();
+  } else if (std::strcmp(name, "simd") == 0) {
+    g_active = &simd_kernels();
+  } else if (std::strcmp(name, "autovec") == 0) {
+    g_active = &autovec_kernels();
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace vf::simd

@@ -1,0 +1,45 @@
+// Startup-time kernel dispatch: one resolved implementation per kernel
+// family, selectable between the scalar / simd / autovec flavours.
+//
+// The default set is "simd" — bit-identical to scalar (kernels.cpp keeps the
+// scalar accumulation order in every ISA path), so flipping the dispatch
+// never changes any modeled or fused output. "autovec" is an explicit
+// opt-in (bench --kernels autovec): it is within 1 ulp of scalar but not
+// guaranteed bit-identical on every compiler, so it must never become the
+// silent default underneath the determinism tests.
+//
+// LineFilter::kernels() (dwt_fusion.h) returns one of these sets; everything
+// the transform executes — including from thread-pool workers — goes through
+// the set's function pointers, which is how `--kernels` reaches every
+// backend, and how src/sched/pipeline.cpp's fusion-rule path stopped
+// hard-coding complex_magnitude_scalar.
+#pragma once
+
+#include "src/simd/kernels.h"
+
+namespace vf::simd {
+
+struct KernelSet {
+  const char* name;  // "scalar" | "simd" | "autovec"
+  void (*analyze)(const float* x, int out_len, const float* lp, const float* hp,
+                  int taps, float* lo, float* hi);
+  void (*synthesize)(const float* x, int pairs, const float* ca, const float* cb,
+                     int taps, float* out);
+  void (*magnitude)(const float* re, const float* im, int n, float* mag);
+  void (*select)(const float* a_re, const float* a_im, const float* b_re,
+                 const float* b_im, const float* mag_a, const float* mag_b, int n,
+                 float* out_re, float* out_im);
+  void (*average)(const float* a, const float* b, int n, float* out);
+};
+
+const KernelSet& scalar_kernels();
+const KernelSet& simd_kernels();
+const KernelSet& autovec_kernels();
+
+// Process-wide active set (default: simd). set_active_kernels returns false
+// on an unknown name and leaves the selection unchanged. Not synchronized:
+// select at startup (bench_util's --kernels), before spawning parallel work.
+const KernelSet& active_kernels();
+bool set_active_kernels(const char* name);
+
+}  // namespace vf::simd

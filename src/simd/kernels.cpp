@@ -3,7 +3,30 @@
 #include <cmath>
 #include <vector>
 
+// The *_simd kernels use real vector intrinsics where the target has them.
+// Exactly one of these paths is active; the portable 4-lane blocked code is
+// the fallback. Every path keeps the per-output accumulation order of the
+// scalar kernel (taps ascending, products added one at a time, no FMA
+// contraction), so all flavours here are bit-identical to *_scalar.
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#define VF_SIMD_SSE2 1
+#elif defined(__ARM_NEON) || defined(__ARM_NEON__)
+#include <arm_neon.h>
+#define VF_SIMD_NEON 1
+#endif
+
 namespace vf::simd {
+
+const char* simd_isa_name() {
+#if defined(VF_SIMD_SSE2)
+  return "sse2";
+#elif defined(VF_SIMD_NEON)
+  return "neon";
+#else
+  return "blocked";
+#endif
+}
 
 namespace {
 
@@ -61,6 +84,51 @@ void dual_corr_decimate2_simd(const float* x, int out_len, const float* lp,
   deinterleave(x, out_len, taps, &xe, &xo);
   const int pairs = taps / 2;
   int i = 0;
+#if defined(VF_SIMD_SSE2)
+  for (; i + kSimdLanes <= out_len; i += kSimdLanes) {
+    const float* pe = xe + i;
+    const float* po = xo + i;
+    __m128 acc_lo = _mm_setzero_ps();
+    __m128 acc_hi = _mm_setzero_ps();
+    for (int s = 0; s < pairs; ++s) {
+      const __m128 e = _mm_loadu_ps(pe + s);
+      const __m128 o = _mm_loadu_ps(po + s);
+      acc_lo = _mm_add_ps(acc_lo, _mm_mul_ps(_mm_set1_ps(lp[2 * s]), e));
+      acc_lo = _mm_add_ps(acc_lo, _mm_mul_ps(_mm_set1_ps(lp[2 * s + 1]), o));
+      acc_hi = _mm_add_ps(acc_hi, _mm_mul_ps(_mm_set1_ps(hp[2 * s]), e));
+      acc_hi = _mm_add_ps(acc_hi, _mm_mul_ps(_mm_set1_ps(hp[2 * s + 1]), o));
+    }
+    if (taps & 1) {
+      const __m128 e = _mm_loadu_ps(pe + pairs);
+      acc_lo = _mm_add_ps(acc_lo, _mm_mul_ps(_mm_set1_ps(lp[taps - 1]), e));
+      acc_hi = _mm_add_ps(acc_hi, _mm_mul_ps(_mm_set1_ps(hp[taps - 1]), e));
+    }
+    _mm_storeu_ps(lo + i, acc_lo);
+    _mm_storeu_ps(hi + i, acc_hi);
+  }
+#elif defined(VF_SIMD_NEON)
+  for (; i + kSimdLanes <= out_len; i += kSimdLanes) {
+    const float* pe = xe + i;
+    const float* po = xo + i;
+    float32x4_t acc_lo = vdupq_n_f32(0.0f);
+    float32x4_t acc_hi = vdupq_n_f32(0.0f);
+    for (int s = 0; s < pairs; ++s) {
+      const float32x4_t e = vld1q_f32(pe + s);
+      const float32x4_t o = vld1q_f32(po + s);
+      acc_lo = vaddq_f32(acc_lo, vmulq_n_f32(e, lp[2 * s]));
+      acc_lo = vaddq_f32(acc_lo, vmulq_n_f32(o, lp[2 * s + 1]));
+      acc_hi = vaddq_f32(acc_hi, vmulq_n_f32(e, hp[2 * s]));
+      acc_hi = vaddq_f32(acc_hi, vmulq_n_f32(o, hp[2 * s + 1]));
+    }
+    if (taps & 1) {
+      const float32x4_t e = vld1q_f32(pe + pairs);
+      acc_lo = vaddq_f32(acc_lo, vmulq_n_f32(e, lp[taps - 1]));
+      acc_hi = vaddq_f32(acc_hi, vmulq_n_f32(e, hp[taps - 1]));
+    }
+    vst1q_f32(lo + i, acc_lo);
+    vst1q_f32(hi + i, acc_hi);
+  }
+#else
   for (; i + kSimdLanes <= out_len; i += kSimdLanes) {
     const float* pe = xe + i;
     const float* po = xo + i;
@@ -111,27 +179,9 @@ void dual_corr_decimate2_simd(const float* x, int out_len, const float* lp,
     hi[i + 2] = hi2;
     hi[i + 3] = hi3;
   }
+#endif
   if (i < out_len) {
     dual_corr_decimate2_scalar(x + 2 * i, out_len - i, lp, hp, taps, lo + i, hi + i);
-  }
-}
-
-void dual_corr_decimate2_autovec(const float* x, int out_len, const float* lp,
-                                 const float* hp, int taps, float* lo, float* hi) {
-  // Tap-outer / output-inner loop order: unit-stride writes over lo/hi let the
-  // compiler emit packed FMAs without any manual blocking.
-  for (int i = 0; i < out_len; ++i) {
-    lo[i] = 0.0f;
-    hi[i] = 0.0f;
-  }
-  for (int t = 0; t < taps; ++t) {
-    const float cl = lp[t];
-    const float ch = hp[t];
-    const float* xt = x + t;
-    for (int i = 0; i < out_len; ++i) {
-      lo[i] += cl * xt[2 * i];
-      hi[i] += ch * xt[2 * i];
-    }
   }
 }
 
@@ -161,6 +211,53 @@ void dual_corr_decimate2_ileave_simd(const float* x, int pairs, const float* ca,
   deinterleave(x, pairs, taps, &xe, &xo);
   const int tap_pairs = taps / 2;
   int k = 0;
+#if defined(VF_SIMD_SSE2)
+  for (; k + kSimdLanes <= pairs; k += kSimdLanes) {
+    const float* pe = xe + k;
+    const float* po = xo + k;
+    __m128 acc_a = _mm_setzero_ps();
+    __m128 acc_b = _mm_setzero_ps();
+    for (int s = 0; s < tap_pairs; ++s) {
+      const __m128 e = _mm_loadu_ps(pe + s);
+      const __m128 o = _mm_loadu_ps(po + s);
+      acc_a = _mm_add_ps(acc_a, _mm_mul_ps(_mm_set1_ps(ca[2 * s]), e));
+      acc_a = _mm_add_ps(acc_a, _mm_mul_ps(_mm_set1_ps(ca[2 * s + 1]), o));
+      acc_b = _mm_add_ps(acc_b, _mm_mul_ps(_mm_set1_ps(cb[2 * s]), e));
+      acc_b = _mm_add_ps(acc_b, _mm_mul_ps(_mm_set1_ps(cb[2 * s + 1]), o));
+    }
+    if (taps & 1) {
+      const __m128 e = _mm_loadu_ps(pe + tap_pairs);
+      acc_a = _mm_add_ps(acc_a, _mm_mul_ps(_mm_set1_ps(ca[taps - 1]), e));
+      acc_b = _mm_add_ps(acc_b, _mm_mul_ps(_mm_set1_ps(cb[taps - 1]), e));
+    }
+    // unpacklo/hi interleave the even (acc_a) and odd (acc_b) phases back
+    // into out[2k], out[2k+1], ... — the vst2 of the paper's NEON code.
+    _mm_storeu_ps(out + 2 * k, _mm_unpacklo_ps(acc_a, acc_b));
+    _mm_storeu_ps(out + 2 * k + 4, _mm_unpackhi_ps(acc_a, acc_b));
+  }
+#elif defined(VF_SIMD_NEON)
+  for (; k + kSimdLanes <= pairs; k += kSimdLanes) {
+    const float* pe = xe + k;
+    const float* po = xo + k;
+    float32x4_t acc_a = vdupq_n_f32(0.0f);
+    float32x4_t acc_b = vdupq_n_f32(0.0f);
+    for (int s = 0; s < tap_pairs; ++s) {
+      const float32x4_t e = vld1q_f32(pe + s);
+      const float32x4_t o = vld1q_f32(po + s);
+      acc_a = vaddq_f32(acc_a, vmulq_n_f32(e, ca[2 * s]));
+      acc_a = vaddq_f32(acc_a, vmulq_n_f32(o, ca[2 * s + 1]));
+      acc_b = vaddq_f32(acc_b, vmulq_n_f32(e, cb[2 * s]));
+      acc_b = vaddq_f32(acc_b, vmulq_n_f32(o, cb[2 * s + 1]));
+    }
+    if (taps & 1) {
+      const float32x4_t e = vld1q_f32(pe + tap_pairs);
+      acc_a = vaddq_f32(acc_a, vmulq_n_f32(e, ca[taps - 1]));
+      acc_b = vaddq_f32(acc_b, vmulq_n_f32(e, cb[taps - 1]));
+    }
+    const float32x4x2_t ab = {{acc_a, acc_b}};
+    vst2q_f32(out + 2 * k, ab);
+  }
+#else
   for (; k + kSimdLanes <= pairs; k += kSimdLanes) {
     const float* pe = xe + k;
     const float* po = xo + k;
@@ -193,23 +290,10 @@ void dual_corr_decimate2_ileave_simd(const float* x, int pairs, const float* ca,
       out[2 * (k + l) + 1] = b[l];
     }
   }
+#endif
   if (k < pairs) {
     dual_corr_decimate2_ileave_scalar(x + 2 * k, pairs - k, ca, cb, taps,
                                       out + 2 * k);
-  }
-}
-
-void dual_corr_decimate2_ileave_autovec(const float* x, int pairs, const float* ca,
-                                        const float* cb, int taps, float* out) {
-  for (int k = 0; k < 2 * pairs; ++k) out[k] = 0.0f;
-  for (int t = 0; t < taps; ++t) {
-    const float fa = ca[t];
-    const float fb = cb[t];
-    const float* xt = x + t;
-    for (int k = 0; k < pairs; ++k) {
-      out[2 * k] += fa * xt[2 * k];
-      out[2 * k + 1] += fb * xt[2 * k];
-    }
   }
 }
 
@@ -223,6 +307,23 @@ void complex_magnitude_scalar(const float* re, const float* im, int n, float* ma
 
 void complex_magnitude_simd(const float* re, const float* im, int n, float* mag) {
   int i = 0;
+#if defined(VF_SIMD_SSE2)
+  // sqrtps is correctly rounded (IEEE), identical to scalar sqrtf.
+  for (; i + kSimdLanes <= n; i += kSimdLanes) {
+    const __m128 r = _mm_loadu_ps(re + i);
+    const __m128 m = _mm_loadu_ps(im + i);
+    const __m128 sum = _mm_add_ps(_mm_mul_ps(r, r), _mm_mul_ps(m, m));
+    _mm_storeu_ps(mag + i, _mm_sqrt_ps(sum));
+  }
+#elif defined(VF_SIMD_NEON) && defined(__aarch64__)
+  // vsqrtq is AArch64-only; ARMv7 NEON has just the rsqrt estimate, which is
+  // not bit-identical, so 32-bit ARM takes the blocked path below.
+  for (; i + kSimdLanes <= n; i += kSimdLanes) {
+    const float32x4_t r = vld1q_f32(re + i);
+    const float32x4_t m = vld1q_f32(im + i);
+    vst1q_f32(mag + i, vsqrtq_f32(vaddq_f32(vmulq_f32(r, r), vmulq_f32(m, m))));
+  }
+#else
   for (; i + kSimdLanes <= n; i += kSimdLanes) {
     const float s0 = re[i] * re[i] + im[i] * im[i];
     const float s1 = re[i + 1] * re[i + 1] + im[i + 1] * im[i + 1];
@@ -233,6 +334,7 @@ void complex_magnitude_simd(const float* re, const float* im, int n, float* mag)
     mag[i + 2] = std::sqrt(s2);
     mag[i + 3] = std::sqrt(s3);
   }
+#endif
   for (; i < n; ++i) mag[i] = std::sqrt(re[i] * re[i] + im[i] * im[i]);
 }
 
@@ -252,13 +354,57 @@ void select_by_magnitude_scalar(const float* a_re, const float* a_im, const floa
 void select_by_magnitude_simd(const float* a_re, const float* a_im, const float* b_re,
                               const float* b_im, const float* mag_a, const float* mag_b,
                               int n, float* out_re, float* out_im) {
-  // Branch-free select so the compiler can lower it to vector blends.
-  for (int i = 0; i < n; ++i) {
-    const float take_a = mag_a[i] >= mag_b[i] ? 1.0f : 0.0f;
-    const float take_b = 1.0f - take_a;
-    out_re[i] = take_a * a_re[i] + take_b * b_re[i];
-    out_im[i] = take_a * a_im[i] + take_b * b_im[i];
+  // Bitwise select (not an arithmetic blend): the output is one of the two
+  // inputs verbatim, so -0.0 and other sign bits survive and the result is
+  // bit-identical to the scalar kernel.
+  int i = 0;
+#if defined(VF_SIMD_SSE2)
+  for (; i + kSimdLanes <= n; i += kSimdLanes) {
+    const __m128 take_a = _mm_cmpge_ps(_mm_loadu_ps(mag_a + i), _mm_loadu_ps(mag_b + i));
+    const __m128 re = _mm_or_ps(_mm_and_ps(take_a, _mm_loadu_ps(a_re + i)),
+                                _mm_andnot_ps(take_a, _mm_loadu_ps(b_re + i)));
+    const __m128 im = _mm_or_ps(_mm_and_ps(take_a, _mm_loadu_ps(a_im + i)),
+                                _mm_andnot_ps(take_a, _mm_loadu_ps(b_im + i)));
+    _mm_storeu_ps(out_re + i, re);
+    _mm_storeu_ps(out_im + i, im);
   }
+#elif defined(VF_SIMD_NEON)
+  for (; i + kSimdLanes <= n; i += kSimdLanes) {
+    const uint32x4_t take_a = vcgeq_f32(vld1q_f32(mag_a + i), vld1q_f32(mag_b + i));
+    vst1q_f32(out_re + i,
+              vbslq_f32(take_a, vld1q_f32(a_re + i), vld1q_f32(b_re + i)));
+    vst1q_f32(out_im + i,
+              vbslq_f32(take_a, vld1q_f32(a_im + i), vld1q_f32(b_im + i)));
+  }
+#endif
+  for (; i < n; ++i) {
+    const bool take_a = mag_a[i] >= mag_b[i];
+    out_re[i] = take_a ? a_re[i] : b_re[i];
+    out_im[i] = take_a ? a_im[i] : b_im[i];
+  }
+}
+
+// --- average ----------------------------------------------------------------
+
+void average_scalar(const float* a, const float* b, int n, float* out) {
+  for (int i = 0; i < n; ++i) out[i] = 0.5f * (a[i] + b[i]);
+}
+
+void average_simd(const float* a, const float* b, int n, float* out) {
+  int i = 0;
+#if defined(VF_SIMD_SSE2)
+  const __m128 half = _mm_set1_ps(0.5f);
+  for (; i + kSimdLanes <= n; i += kSimdLanes) {
+    const __m128 sum = _mm_add_ps(_mm_loadu_ps(a + i), _mm_loadu_ps(b + i));
+    _mm_storeu_ps(out + i, _mm_mul_ps(half, sum));
+  }
+#elif defined(VF_SIMD_NEON)
+  for (; i + kSimdLanes <= n; i += kSimdLanes) {
+    const float32x4_t sum = vaddq_f32(vld1q_f32(a + i), vld1q_f32(b + i));
+    vst1q_f32(out + i, vmulq_n_f32(sum, 0.5f));
+  }
+#endif
+  for (; i < n; ++i) out[i] = 0.5f * (a[i] + b[i]);
 }
 
 }  // namespace vf::simd

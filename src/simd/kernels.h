@@ -1,14 +1,21 @@
 // Compute kernels of the fusion pipeline, in three flavours each:
 //
 //   *_scalar  — reference implementation, one output at a time;
-//   *_simd    — hand-blocked 4-lane version mirroring the paper's NEON code
-//               (four independent accumulator lanes, unrolled tap loop);
-//   *_autovec — plain nested loop laid out for the compiler's vectorizer.
+//   *_simd    — hand-vectorized: SSE2 / NEON intrinsics where the target has
+//               them (see simd_isa_name()), otherwise the 4-lane blocked code
+//               mirroring the paper's NEON port. Accumulation order matches
+//               the scalar kernel exactly, so results are bit-identical;
+//   *_autovec — plain nested loop laid out for the compiler's vectorizer
+//               (kernels_autovec.cpp, its own TU so tests/check_autovec.cmake
+//               can recompile it with vectorization reports and assert the
+//               hot loops vectorized). Within 1 ulp of scalar.
 //
 // All kernels are pure: extension/padding policy (periodic, symmetric) is the
 // caller's job — `x` must already hold the extended line. This is exactly the
 // contract of the paper's FPGA wavelet engine, which also receives a line
-// buffer of `2*out_len + taps` samples per request.
+// buffer of `2*out_len + taps` samples per request. Purity is also what lets
+// the host thread pool (src/common/thread_pool.h) call any flavour from
+// worker threads; per-kernel flavour selection lives in src/simd/dispatch.h.
 //
 //   dual_corr_decimate2:        lo[i] = sum_t lp[t] * x[2i + t]
 //                               hi[i] = sum_t hp[t] * x[2i + t]
@@ -18,6 +25,7 @@
 //      odd polyphase filters, so one pass reconstructs two output samples)
 //   complex_magnitude:          mag[i] = sqrt(re[i]^2 + im[i]^2)
 //   select_by_magnitude:        out[i] = mag_a[i] >= mag_b[i] ? a[i] : b[i]
+//   average:                    out[i] = 0.5 * (a[i] + b[i])
 #pragma once
 
 #include <cstdint>
@@ -25,6 +33,10 @@
 namespace vf::simd {
 
 inline constexpr int kSimdLanes = 4;
+
+// Instruction set the *_simd kernels compiled to: "sse2", "neon", or
+// "blocked" (portable 4-lane fallback).
+const char* simd_isa_name();
 
 // --- analysis: dual correlation + decimate by 2 -----------------------------
 void dual_corr_decimate2_scalar(const float* x, int out_len, const float* lp,
@@ -45,6 +57,7 @@ void dual_corr_decimate2_ileave_autovec(const float* x, int pairs, const float* 
 // --- fusion rule helpers ----------------------------------------------------
 void complex_magnitude_scalar(const float* re, const float* im, int n, float* mag);
 void complex_magnitude_simd(const float* re, const float* im, int n, float* mag);
+void complex_magnitude_autovec(const float* re, const float* im, int n, float* mag);
 
 void select_by_magnitude_scalar(const float* a_re, const float* a_im, const float* b_re,
                                 const float* b_im, const float* mag_a,
@@ -53,5 +66,14 @@ void select_by_magnitude_scalar(const float* a_re, const float* a_im, const floa
 void select_by_magnitude_simd(const float* a_re, const float* a_im, const float* b_re,
                               const float* b_im, const float* mag_a, const float* mag_b,
                               int n, float* out_re, float* out_im);
+void select_by_magnitude_autovec(const float* a_re, const float* a_im,
+                                 const float* b_re, const float* b_im,
+                                 const float* mag_a, const float* mag_b, int n,
+                                 float* out_re, float* out_im);
+
+// --- lowpass residual averaging ---------------------------------------------
+void average_scalar(const float* a, const float* b, int n, float* out);
+void average_simd(const float* a, const float* b, int n, float* out);
+void average_autovec(const float* a, const float* b, int n, float* out);
 
 }  // namespace vf::simd

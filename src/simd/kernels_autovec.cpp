@@ -1,0 +1,85 @@
+// The *_autovec kernel flavours, isolated in their own translation unit so
+// tests/check_autovec.cmake can recompile exactly this file with the
+// compiler's vectorization report (-fopt-info-vec-optimized on GCC,
+// -Rpass=loop-vectorize on Clang) and assert that every hot loop below
+// actually vectorized. Keep this TU free of code whose loops are not meant
+// to vectorize, or the assertion loses its teeth.
+//
+// Numerics contract (tests/test_kernels.cpp): each kernel accumulates in the
+// same tap-ascending order as its scalar reference, so results are within
+// 1 ulp (identical when the compiler does not contract mul+add into FMA).
+#include "src/simd/kernels.h"
+
+#include <cmath>
+
+namespace vf::simd {
+
+void dual_corr_decimate2_autovec(const float* x, int out_len, const float* lp,
+                                 const float* hp, int taps, float* lo, float* hi) {
+  // Tap-outer / output-inner loop order: unit-stride writes over lo/hi let the
+  // compiler emit packed FMAs without any manual blocking.
+  for (int i = 0; i < out_len; ++i) {
+    lo[i] = 0.0f;
+    hi[i] = 0.0f;
+  }
+  for (int t = 0; t < taps; ++t) {
+    const float cl = lp[t];
+    const float ch = hp[t];
+    const float* xt = x + t;
+    for (int i = 0; i < out_len; ++i) {
+      lo[i] += cl * xt[2 * i];
+      hi[i] += ch * xt[2 * i];
+    }
+  }
+}
+
+void dual_corr_decimate2_ileave_autovec(const float* x, int pairs, const float* ca,
+                                        const float* cb, int taps, float* out) {
+  for (int k = 0; k < 2 * pairs; ++k) out[k] = 0.0f;
+  for (int t = 0; t < taps; ++t) {
+    const float fa = ca[t];
+    const float fb = cb[t];
+    const float* xt = x + t;
+    for (int k = 0; k < pairs; ++k) {
+      out[2 * k] += fa * xt[2 * k];
+      out[2 * k + 1] += fb * xt[2 * k];
+    }
+  }
+}
+
+void complex_magnitude_autovec(const float* re, const float* im, int n, float* mag) {
+  // Vectorizes to packed sqrt when math-errno is off (vf_core builds with
+  // -fno-math-errno; sqrt of a sum of squares cannot go negative anyway).
+  for (int i = 0; i < n; ++i) {
+    mag[i] = std::sqrt(re[i] * re[i] + im[i] * im[i]);
+  }
+}
+
+void select_by_magnitude_autovec(const float* a_re, const float* a_im,
+                                 const float* b_re, const float* b_im,
+                                 const float* mag_a, const float* mag_b, int n,
+                                 float* out_re, float* out_im) {
+  // One output stream per loop, with both candidate values loaded into
+  // locals unconditionally: the ternary is then a pure register select
+  // (VEC_COND), which the vectorizer lowers to compare + blend even at the
+  // SSE2 baseline (conditional *loads* would need masked-load support and
+  // defeat if-conversion). The output is one of the inputs verbatim
+  // (bit-exact, unlike an arithmetic a*t + b*(1-t) blend, which loses
+  // signed zeros).
+  for (int i = 0; i < n; ++i) {
+    const float ar = a_re[i];
+    const float br = b_re[i];
+    out_re[i] = mag_a[i] >= mag_b[i] ? ar : br;
+  }
+  for (int i = 0; i < n; ++i) {
+    const float ai = a_im[i];
+    const float bi = b_im[i];
+    out_im[i] = mag_a[i] >= mag_b[i] ? ai : bi;
+  }
+}
+
+void average_autovec(const float* a, const float* b, int n, float* out) {
+  for (int i = 0; i < n; ++i) out[i] = 0.5f * (a[i] + b[i]);
+}
+
+}  // namespace vf::simd

@@ -1,10 +1,19 @@
-// SIMD-vs-scalar equivalence for all four kernel families.
+// Flavour-parity contract for all five kernel families (analyze, synthesize,
+// magnitude, select, average):
+//
+//   *_simd     bit-identical to *_scalar (0 ulp, signed zeros included) —
+//              the dispatch default relies on this;
+//   *_autovec  within 1 ulp of *_scalar (the compiler may contract mul+add
+//              into FMA, which changes rounding at most 1 ulp here).
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
+#include <cstring>
 #include <vector>
 
 #include "src/common/rng.h"
-#include "src/simd/kernels.h"
+#include "src/simd/dispatch.h"
 
 namespace {
 
@@ -15,6 +24,43 @@ std::vector<float> randv(int n, std::uint64_t seed) {
   std::vector<float> v(static_cast<std::size_t>(n));
   for (float& x : v) x = rng.next_float(-1.0f, 1.0f);
   return v;
+}
+
+std::uint32_t float_bits(float f) {
+  std::uint32_t u;
+  std::memcpy(&u, &f, sizeof(u));
+  return u;
+}
+
+// Monotone map of float ordering onto integers (+0.0 and -0.0 coincide).
+long long float_ordered(float f) {
+  const std::uint32_t u = float_bits(f);
+  return (u & 0x80000000u) ? -static_cast<long long>(u & 0x7fffffffu)
+                           : static_cast<long long>(u);
+}
+
+long long ulp_distance(float a, float b) {
+  if (std::isnan(a) || std::isnan(b)) return std::isnan(a) == std::isnan(b) ? 0 : 1u << 30;
+  const long long d = float_ordered(a) - float_ordered(b);
+  return d < 0 ? -d : d;
+}
+
+void expect_bit_identical(const std::vector<float>& ref, const std::vector<float>& got,
+                          const char* what) {
+  ASSERT_EQ(ref.size(), got.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_EQ(float_bits(ref[i]), float_bits(got[i]))
+        << what << " i=" << i << " ref=" << ref[i] << " got=" << got[i];
+  }
+}
+
+void expect_within_1_ulp(const std::vector<float>& ref, const std::vector<float>& got,
+                         const char* what) {
+  ASSERT_EQ(ref.size(), got.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_LE(ulp_distance(ref[i], got[i]), 1)
+        << what << " i=" << i << " ref=" << ref[i] << " got=" << got[i];
+  }
 }
 
 class KernelEquivalence : public ::testing::TestWithParam<int> {};
@@ -33,12 +79,10 @@ TEST_P(KernelEquivalence, DualCorrDecimate2) {
                                    lo_v.data(), hi_v.data());
     simd::dual_corr_decimate2_autovec(x.data(), out_len, lp.data(), hp.data(), taps,
                                       lo_a.data(), hi_a.data());
-    for (int i = 0; i < out_len; ++i) {
-      EXPECT_FLOAT_EQ(lo_s[i], lo_v[i]) << "taps=" << taps << " i=" << i;
-      EXPECT_FLOAT_EQ(hi_s[i], hi_v[i]) << "taps=" << taps << " i=" << i;
-      EXPECT_NEAR(lo_s[i], lo_a[i], 1e-4f) << "taps=" << taps << " i=" << i;
-      EXPECT_NEAR(hi_s[i], hi_a[i], 1e-4f) << "taps=" << taps << " i=" << i;
-    }
+    expect_bit_identical(lo_s, lo_v, "analyze lo simd");
+    expect_bit_identical(hi_s, hi_v, "analyze hi simd");
+    expect_within_1_ulp(lo_s, lo_a, "analyze lo autovec");
+    expect_within_1_ulp(hi_s, hi_a, "analyze hi autovec");
   }
 }
 
@@ -55,10 +99,8 @@ TEST_P(KernelEquivalence, DualCorrDecimate2Ileave) {
                                           out_v.data());
     simd::dual_corr_decimate2_ileave_autovec(x.data(), pairs, ca.data(), cb.data(),
                                              taps, out_a.data());
-    for (int i = 0; i < 2 * pairs; ++i) {
-      EXPECT_FLOAT_EQ(out_s[i], out_v[i]) << "taps=" << taps << " i=" << i;
-      EXPECT_NEAR(out_s[i], out_a[i], 1e-4f) << "taps=" << taps << " i=" << i;
-    }
+    expect_bit_identical(out_s, out_v, "synthesize simd");
+    expect_within_1_ulp(out_s, out_a, "synthesize autovec");
   }
 }
 
@@ -66,13 +108,13 @@ TEST_P(KernelEquivalence, ComplexMagnitude) {
   const int n = GetParam();
   const auto re = randv(n, 7);
   const auto im = randv(n, 8);
-  std::vector<float> mag_s(n), mag_v(n);
+  std::vector<float> mag_s(n), mag_v(n), mag_a(n);
   simd::complex_magnitude_scalar(re.data(), im.data(), n, mag_s.data());
   simd::complex_magnitude_simd(re.data(), im.data(), n, mag_v.data());
-  for (int i = 0; i < n; ++i) {
-    EXPECT_FLOAT_EQ(mag_s[i], mag_v[i]) << i;
-    EXPECT_GE(mag_s[i], 0.0f);
-  }
+  simd::complex_magnitude_autovec(re.data(), im.data(), n, mag_a.data());
+  expect_bit_identical(mag_s, mag_v, "magnitude simd");
+  expect_within_1_ulp(mag_s, mag_a, "magnitude autovec");
+  for (int i = 0; i < n; ++i) EXPECT_GE(mag_s[i], 0.0f);
 }
 
 TEST_P(KernelEquivalence, SelectByMagnitude) {
@@ -82,19 +124,70 @@ TEST_P(KernelEquivalence, SelectByMagnitude) {
   std::vector<float> mag_a(n), mag_b(n);
   simd::complex_magnitude_scalar(a_re.data(), a_im.data(), n, mag_a.data());
   simd::complex_magnitude_scalar(b_re.data(), b_im.data(), n, mag_b.data());
-  std::vector<float> re_s(n), im_s(n), re_v(n), im_v(n);
+  std::vector<float> re_s(n), im_s(n), re_v(n), im_v(n), re_a(n), im_a(n);
   simd::select_by_magnitude_scalar(a_re.data(), a_im.data(), b_re.data(), b_im.data(),
                                    mag_a.data(), mag_b.data(), n, re_s.data(),
                                    im_s.data());
   simd::select_by_magnitude_simd(a_re.data(), a_im.data(), b_re.data(), b_im.data(),
                                  mag_a.data(), mag_b.data(), n, re_v.data(),
                                  im_v.data());
+  simd::select_by_magnitude_autovec(a_re.data(), a_im.data(), b_re.data(),
+                                    b_im.data(), mag_a.data(), mag_b.data(), n,
+                                    re_a.data(), im_a.data());
+  expect_bit_identical(re_s, re_v, "select re simd");
+  expect_bit_identical(im_s, im_v, "select im simd");
+  // Selection copies an input verbatim, so even autovec must be bit-exact.
+  expect_bit_identical(re_s, re_a, "select re autovec");
+  expect_bit_identical(im_s, im_a, "select im autovec");
   for (int i = 0; i < n; ++i) {
-    EXPECT_FLOAT_EQ(re_s[i], re_v[i]) << i;
-    EXPECT_FLOAT_EQ(im_s[i], im_v[i]) << i;
-    // Selection must come from one of the inputs.
     EXPECT_TRUE(re_s[i] == a_re[i] || re_s[i] == b_re[i]) << i;
   }
+}
+
+TEST_P(KernelEquivalence, Average) {
+  const int n = GetParam();
+  const auto a = randv(n, 13);
+  const auto b = randv(n, 14);
+  std::vector<float> out_s(n), out_v(n), out_a(n);
+  simd::average_scalar(a.data(), b.data(), n, out_s.data());
+  simd::average_simd(a.data(), b.data(), n, out_v.data());
+  simd::average_autovec(a.data(), b.data(), n, out_a.data());
+  expect_bit_identical(out_s, out_v, "average simd");
+  // 0.5f * (a + b) has no mul+add to contract: exact in every flavour.
+  expect_bit_identical(out_s, out_a, "average autovec");
+  for (int i = 0; i < n; ++i) {
+    EXPECT_FLOAT_EQ(out_s[i], 0.5f * (a[i] + b[i])) << i;
+  }
+}
+
+// Signed zeros: the old arithmetic blend (a*t + b*(1-t)) lost -0.0; exact
+// selection must preserve it bit-for-bit in every flavour.
+TEST(SelectByMagnitudeEdge, PreservesSignedZeros) {
+  const int n = 8;
+  std::vector<float> a_re(n, -0.0f), a_im(n, 0.0f);
+  std::vector<float> b_re(n, 1.0f), b_im(n, -1.0f);
+  std::vector<float> mag_a(n, 2.0f), mag_b(n, 1.0f);  // always take a
+  std::vector<float> re(n), im(n);
+  simd::select_by_magnitude_simd(a_re.data(), a_im.data(), b_re.data(), b_im.data(),
+                                 mag_a.data(), mag_b.data(), n, re.data(), im.data());
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(float_bits(re[i]), float_bits(-0.0f)) << i;
+    EXPECT_EQ(float_bits(im[i]), float_bits(0.0f)) << i;
+  }
+}
+
+// The dispatch table must expose exactly the three flavours, default to the
+// bit-identical "simd" set, and reject unknown names without changing state.
+TEST(KernelDispatch, NamedSetsAndDefault) {
+  EXPECT_STREQ(simd::active_kernels().name, "simd");
+  EXPECT_STREQ(simd::scalar_kernels().name, "scalar");
+  EXPECT_STREQ(simd::autovec_kernels().name, "autovec");
+  EXPECT_FALSE(simd::set_active_kernels("avx999"));
+  EXPECT_STREQ(simd::active_kernels().name, "simd");
+  EXPECT_TRUE(simd::set_active_kernels("autovec"));
+  EXPECT_STREQ(simd::active_kernels().name, "autovec");
+  EXPECT_TRUE(simd::set_active_kernels("simd"));
+  EXPECT_STREQ(simd::active_kernels().name, "simd");
 }
 
 // Odd lengths exercise the SIMD tail path; 44 and 1024 are the bench sizes.
