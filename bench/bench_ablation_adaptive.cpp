@@ -20,10 +20,11 @@ int main(int argc, char** argv) {
   std::printf("threshold sweep at 88x72 (%d frames):\n", options.frames);
   TextTable sweep({"threshold (samples)", "total (s)", "energy (mJ)", "lines FPGA",
                    "lines NEON"});
+  const sched::RunConfig base = bench_run_config(options);
   for (int threshold : {0, 24, 36, 44, 64, 96, 1 << 20}) {
-    sched::AdaptiveBackend::Options adaptive_options;
-    adaptive_options.threshold_samples = threshold;
-    sched::AdaptiveBackend backend(adaptive_options);
+    sched::RunConfig run = base;
+    run.adaptive_threshold_samples = threshold;
+    sched::AdaptiveBackend backend(run);  // concrete: router stats below
     const auto r = probe_backend(backend, {88, 72}, options.frames);
     const std::string label =
         threshold >= (1 << 20) ? "inf (all NEON)" : std::to_string(threshold);
@@ -40,9 +41,9 @@ int main(int argc, char** argv) {
   TextTable table({"frame size", "NEON (s)", "FPGA (s)", "Adaptive (s)",
                    "vs best static", "NEON (mJ)", "FPGA (mJ)", "Adaptive (mJ)"});
   for (const sched::FrameSize& size : sched::paper_frame_sizes()) {
-    const auto rn = run_probe(EngineChoice::kNeon, size, options.frames);
-    const auto rf = run_probe(EngineChoice::kFpga, size, options.frames);
-    const auto ra = run_probe(EngineChoice::kAdaptive, size, options.frames);
+    const auto rn = run_probe(EngineChoice::kNeon, size, base);
+    const auto rf = run_probe(EngineChoice::kFpga, size, base);
+    const auto ra = run_probe(EngineChoice::kAdaptive, size, base);
     const double best = std::min(rn.total.sec(), rf.total.sec());
     table.add_row({size.label(), TextTable::num(rn.total.sec(), 3),
                    TextTable::num(rf.total.sec(), 3), TextTable::num(ra.total.sec(), 3),

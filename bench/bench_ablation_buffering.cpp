@@ -20,14 +20,16 @@ int main(int argc, char** argv) {
 
   TextTable table({"frame size", "single buf (s)", "double buf (s)", "saved", "PS stall single",
                    "PS stall double"});
+  const sched::RunConfig base = bench_run_config(options);
   for (const sched::FrameSize& size : sched::paper_frame_sizes()) {
-    driver::DriverCosts single;
-    single.double_buffering = false;
-    driver::DriverCosts dual;
-    dual.double_buffering = true;
+    sched::RunConfig single = base;
+    single.driver_costs.double_buffering = false;
+    sched::RunConfig dual = base;
+    dual.driver_costs.double_buffering = true;
 
-    sched::FpgaBackend fpga_single({}, single);
-    sched::FpgaBackend fpga_dual({}, dual);
+    // Concrete backends: the stall-time readout below needs accelerator().
+    sched::FpgaBackend fpga_single(single);
+    sched::FpgaBackend fpga_dual(dual);
     const auto rs = probe_backend(fpga_single, size, options.frames);
     const auto rd = probe_backend(fpga_dual, size, options.frames);
     const SimDuration stall_s = fpga_single.accelerator().stall_time();

@@ -20,17 +20,19 @@ int main(int argc, char** argv) {
 
   TextTable table({"levels", "ARM (s)", "NEON (s)", "FPGA (s)", "Adaptive (s)",
                    "FPGA vs NEON", "adaptive lines FPGA/NEON"});
+  const sched::RunConfig base = bench_run_config(options);
   for (int levels = 1; levels <= 4; ++levels) {
-    fusion::FuseConfig config;
-    config.transform.levels = levels;
+    sched::RunConfig run = base;
+    run.fuse.transform.levels = levels;
+    const fusion::FuseConfig& config = run.fuse;
 
-    sched::ArmBackend arm;
-    sched::NeonBackend neon;
-    sched::FpgaBackend fpga;
-    sched::AdaptiveBackend adaptive;
-    const auto ra = probe_backend(arm, {88, 72}, options.frames, config);
-    const auto rn = probe_backend(neon, {88, 72}, options.frames, config);
-    const auto rf = probe_backend(fpga, {88, 72}, options.frames, config);
+    const auto arm = sched::make_backend(EngineChoice::kArm, run);
+    const auto neon = sched::make_backend(EngineChoice::kNeon, run);
+    const auto fpga = sched::make_backend(EngineChoice::kFpga, run);
+    sched::AdaptiveBackend adaptive(run);  // concrete: router stats below
+    const auto ra = probe_backend(*arm, {88, 72}, options.frames, config);
+    const auto rn = probe_backend(*neon, {88, 72}, options.frames, config);
+    const auto rf = probe_backend(*fpga, {88, 72}, options.frames, config);
     const auto rx = probe_backend(adaptive, {88, 72}, options.frames, config);
 
     table.add_row({std::to_string(levels), TextTable::num(ra.total.sec(), 3),

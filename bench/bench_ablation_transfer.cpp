@@ -53,23 +53,23 @@ int main(int argc, char** argv) {
   std::printf("end-to-end FPGA fusion time per design (10 frames, seconds):\n");
   TextTable e2e({"frame size", "ACP+poll (paper)", "ACP+interrupt", "GP-port+poll",
                  "GP penalty"});
+  const sched::RunConfig base = bench_run_config(options);
   for (const sched::FrameSize& size : sched::paper_frame_sizes()) {
-    driver::DriverCosts paper_costs;  // ACP + polling
+    const sched::RunConfig paper_run = base;  // ACP + polling
 
-    driver::DriverCosts irq_costs;
-    irq_costs.completion = driver::CompletionMode::kInterrupt;
+    sched::RunConfig irq_run = base;
+    irq_run.driver_costs.completion = driver::CompletionMode::kInterrupt;
 
-    driver::DriverCosts gp_costs;
-    gp_costs.transfer = driver::TransferMode::kGpPort;
-    hw::WaveletEngineConfig gp_engine;
-    gp_engine.dma_enabled = false;  // no DMA block in the GP design
+    sched::RunConfig gp_run = base;
+    gp_run.driver_costs.transfer = driver::TransferMode::kGpPort;
+    gp_run.engine.dma_enabled = false;  // no DMA block in the GP design
 
-    sched::FpgaBackend acp_poll({}, paper_costs);
-    sched::FpgaBackend acp_irq({}, irq_costs);
-    sched::FpgaBackend gp_poll(gp_engine, gp_costs);
-    const auto r_paper = probe_backend(acp_poll, size, options.frames);
-    const auto r_irq = probe_backend(acp_irq, size, options.frames);
-    const auto r_gp = probe_backend(gp_poll, size, options.frames);
+    const auto acp_poll = sched::make_backend(EngineChoice::kFpga, paper_run);
+    const auto acp_irq = sched::make_backend(EngineChoice::kFpga, irq_run);
+    const auto gp_poll = sched::make_backend(EngineChoice::kFpga, gp_run);
+    const auto r_paper = probe_backend(*acp_poll, size, options.frames);
+    const auto r_irq = probe_backend(*acp_irq, size, options.frames);
+    const auto r_gp = probe_backend(*gp_poll, size, options.frames);
     e2e.add_row({size.label(), TextTable::num(r_paper.total.sec(), 3),
                  TextTable::num(r_irq.total.sec(), 3),
                  TextTable::num(r_gp.total.sec(), 3),

@@ -26,26 +26,38 @@ int main(int argc, char** argv) {
               pm.system_power_mw(power::ComputeMode::kArmFpga),
               pm.config().pl_engine_net_mw);
 
+  const sched::RunConfig config = bench_run_config(options);
+  json::Value run = json_run_header("fig10_energy", options);
+  json::Value sweep = json::Value::array();
+
   TextTable table({"frame size", "ARM Only (mJ)", "ARM+NEON (mJ)", "ARM+FPGA (mJ)",
                    "Adaptive (mJ)", "best static"});
   // The sweep ends at 88x72; keep those probes for the summary below instead
   // of re-running them (probes are deterministic).
   sched::ProbeResult arm88, neon88, fpga88;
   for (const sched::FrameSize& size : sched::paper_frame_sizes()) {
-    const auto arm = run_probe(EngineChoice::kArm, size, options.frames);
-    const auto neon = run_probe(EngineChoice::kNeon, size, options.frames);
-    const auto fpga = run_probe(EngineChoice::kFpga, size, options.frames);
-    const auto adaptive = run_probe(EngineChoice::kAdaptive, size, options.frames);
+    const auto arm = run_probe(EngineChoice::kArm, size, config);
+    const auto neon = run_probe(EngineChoice::kNeon, size, config);
+    const auto fpga = run_probe(EngineChoice::kFpga, size, config);
+    const auto adaptive = run_probe(EngineChoice::kAdaptive, size, config);
     const char* best = fpga.energy_mj < neon.energy_mj ? "ARM+FPGA" : "ARM+NEON";
     table.add_row({size.label(), TextTable::num(arm.energy_mj, 1),
                    TextTable::num(neon.energy_mj, 1), TextTable::num(fpga.energy_mj, 1),
                    TextTable::num(adaptive.energy_mj, 1), best});
+    json::Value row = json::Value::object();
+    row.set("frame_size", size.label());
+    row.set("arm_energy_mj", arm.energy_mj);
+    row.set("neon_energy_mj", neon.energy_mj);
+    row.set("fpga_energy_mj", fpga.energy_mj);
+    row.set("adaptive_energy_mj", adaptive.energy_mj);
+    sweep.push(std::move(row));
     if (size.width == 88) {
       arm88 = arm;
       neon88 = neon;
       fpga88 = fpga;
     }
   }
+  run.set("sweep", std::move(sweep));
   std::printf("%s\n", table.to_string().c_str());
   std::printf("at 88x72: ARM+FPGA saves %.1f%% (paper 46.3%%), ARM+NEON saves %.1f%%\n"
               "(paper 8%%; see EXPERIMENTS.md on the paper's NEON deltas).\n",
@@ -66,5 +78,9 @@ int main(int argc, char** argv) {
               recorder.sampled_energy_mj(), recorder.exact_energy_mj(),
               100.0 * std::abs(recorder.sampled_energy_mj() - recorder.exact_energy_mj()) /
                   recorder.exact_energy_mj());
-  return 0;
+  json::Value methodology = json::Value::object();
+  methodology.set("sampled_energy_mj", recorder.sampled_energy_mj());
+  methodology.set("exact_energy_mj", recorder.exact_energy_mj());
+  run.set("recorder_methodology", std::move(methodology));
+  return write_json_report(options, run);
 }

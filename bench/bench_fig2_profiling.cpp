@@ -16,8 +16,8 @@ int main(int argc, char** argv) {
   print_header("Fig. 2 — profile of the fusion process (ARM only, 88x72)",
                "Fig. 2: forward/inverse DT-CWT are the most compute-intensive tasks");
 
-  sched::ArmBackend arm;
-  sched::TimedFusionRunner runner(arm);
+  const auto arm = sched::make_backend(EngineChoice::kArm, bench_run_config(options));
+  sched::TimedFusionRunner runner(*arm);
   const auto pairs = sched::make_sweep_frames({88, 72}, 1);
   const sched::FrameRunResult r = runner.run_frame_pair(pairs[0].visible,
                                                         pairs[0].thermal);

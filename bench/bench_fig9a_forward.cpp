@@ -16,21 +16,32 @@ int main(int argc, char** argv) {
                    std::to_string(options.frames) + " frames, seconds)",
                "Fig. 9(a); §VII text: -55.6% FPGA / -10% NEON at 88x72");
 
+  const sched::RunConfig config = bench_run_config(options);
+  json::Value run = json_run_header("fig9a_forward", options);
+  json::Value sweep = json::Value::array();
+
   TextTable table({"frame size", "ARM fwd (s)", "NEON fwd (s)", "FPGA fwd (s)",
                    "FPGA vs ARM", "best"});
   for (const sched::FrameSize& size : sched::paper_frame_sizes()) {
-    const auto arm = run_probe(EngineChoice::kArm, size, options.frames);
-    const auto neon = run_probe(EngineChoice::kNeon, size, options.frames);
-    const auto fpga = run_probe(EngineChoice::kFpga, size, options.frames);
+    const auto arm = run_probe(EngineChoice::kArm, size, config);
+    const auto neon = run_probe(EngineChoice::kNeon, size, config);
+    const auto fpga = run_probe(EngineChoice::kFpga, size, config);
     const double vs_arm = 100.0 * (1.0 - fpga.forward.sec() / arm.forward.sec());
     const char* best = fpga.forward < neon.forward ? "FPGA" : "NEON";
     table.add_row({size.label(), TextTable::num(arm.forward.sec(), 3),
                    TextTable::num(neon.forward.sec(), 3),
                    TextTable::num(fpga.forward.sec(), 3),
                    TextTable::num(vs_arm, 1) + "%", best});
+    json::Value row = json::Value::object();
+    row.set("frame_size", size.label());
+    row.set("arm_forward_s", arm.forward.sec());
+    row.set("neon_forward_s", neon.forward.sec());
+    row.set("fpga_forward_s", fpga.forward.sec());
+    sweep.push(std::move(row));
   }
+  run.set("sweep", std::move(sweep));
   std::printf("%s\n", table.to_string().c_str());
   std::printf("shape check: NEON wins below the break point, FPGA above it\n"
               "(paper: break between 35x35 and 40x40).\n");
-  return 0;
+  return write_json_report(options, run);
 }

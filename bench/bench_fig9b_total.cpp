@@ -15,22 +15,34 @@ int main(int argc, char** argv) {
                    std::to_string(options.frames) + " frames, seconds)",
                "Fig. 9(b); §VII text: -48.1% ARM+FPGA / -8% ARM+NEON at 88x72");
 
+  const sched::RunConfig config = bench_run_config(options);
+  json::Value run = json_run_header("fig9b_total", options);
+  json::Value sweep = json::Value::array();
+
   TextTable table({"frame size", "ARM Only (s)", "ARM+NEON (s)", "ARM+FPGA (s)",
                    "Adaptive (s)", "best static"});
   for (const sched::FrameSize& size : sched::paper_frame_sizes()) {
-    const auto arm = run_probe(EngineChoice::kArm, size, options.frames);
-    const auto neon = run_probe(EngineChoice::kNeon, size, options.frames);
-    const auto fpga = run_probe(EngineChoice::kFpga, size, options.frames);
-    const auto adaptive = run_probe(EngineChoice::kAdaptive, size, options.frames);
+    const auto arm = run_probe(EngineChoice::kArm, size, config);
+    const auto neon = run_probe(EngineChoice::kNeon, size, config);
+    const auto fpga = run_probe(EngineChoice::kFpga, size, config);
+    const auto adaptive = run_probe(EngineChoice::kAdaptive, size, config);
     const char* best = fpga.total < neon.total ? "ARM+FPGA" : "ARM+NEON";
     table.add_row({size.label(), TextTable::num(arm.total.sec(), 3),
                    TextTable::num(neon.total.sec(), 3),
                    TextTable::num(fpga.total.sec(), 3),
                    TextTable::num(adaptive.total.sec(), 3), best});
+    json::Value row = json::Value::object();
+    row.set("frame_size", size.label());
+    row.set("arm_total_s", arm.total.sec());
+    row.set("neon_total_s", neon.total.sec());
+    row.set("fpga_total_s", fpga.total.sec());
+    row.set("adaptive_total_s", adaptive.total.sec());
+    sweep.push(std::move(row));
   }
+  run.set("sweep", std::move(sweep));
   std::printf("%s\n", table.to_string().c_str());
   std::printf("shape check: ARM+FPGA outperforms ARM+NEON only beyond ~40x40\n"
               "(paper's break point); the adaptive system is never worse than the\n"
               "best static choice (paper's conclusion / future work).\n");
-  return 0;
+  return write_json_report(options, run);
 }

@@ -15,21 +15,32 @@ int main(int argc, char** argv) {
                    std::to_string(options.frames) + " frames, seconds)",
                "Fig. 9(c); §VII text: -60.6% FPGA / -16% NEON at 88x72");
 
+  const sched::RunConfig config = bench_run_config(options);
+  json::Value run = json_run_header("fig9c_inverse", options);
+  json::Value sweep = json::Value::array();
+
   TextTable table({"frame size", "ARM inv (s)", "NEON inv (s)", "FPGA inv (s)",
                    "FPGA vs ARM", "best"});
   for (const sched::FrameSize& size : sched::paper_frame_sizes()) {
-    const auto arm = run_probe(EngineChoice::kArm, size, options.frames);
-    const auto neon = run_probe(EngineChoice::kNeon, size, options.frames);
-    const auto fpga = run_probe(EngineChoice::kFpga, size, options.frames);
+    const auto arm = run_probe(EngineChoice::kArm, size, config);
+    const auto neon = run_probe(EngineChoice::kNeon, size, config);
+    const auto fpga = run_probe(EngineChoice::kFpga, size, config);
     const double vs_arm = 100.0 * (1.0 - fpga.inverse.sec() / arm.inverse.sec());
     const char* best = fpga.inverse < neon.inverse ? "FPGA" : "NEON";
     table.add_row({size.label(), TextTable::num(arm.inverse.sec(), 3),
                    TextTable::num(neon.inverse.sec(), 3),
                    TextTable::num(fpga.inverse.sec(), 3),
                    TextTable::num(vs_arm, 1) + "%", best});
+    json::Value row = json::Value::object();
+    row.set("frame_size", size.label());
+    row.set("arm_inverse_s", arm.inverse.sec());
+    row.set("neon_inverse_s", neon.inverse.sec());
+    row.set("fpga_inverse_s", fpga.inverse.sec());
+    sweep.push(std::move(row));
   }
+  run.set("sweep", std::move(sweep));
   std::printf("%s\n", table.to_string().c_str());
   std::printf("shape check: FPGA loses at 32x24 and 35x35, ties near 40x40, and\n"
               "wins clearly at 64x48 and 88x72 (paper: outperforms past 40x40).\n");
-  return 0;
+  return write_json_report(options, run);
 }

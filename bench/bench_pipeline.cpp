@@ -53,10 +53,11 @@ int main(int argc, char** argv) {
                     "batch vs serial", "best engine"});
   std::string first_fpga_win = "none";
   json::Value jbreaks = json::Value::array();
+  const sched::RunConfig config = bench_run_config(options);
   for (const sched::FrameSize& size : sched::paper_frame_sizes()) {
-    const auto neon = run_probe(EngineChoice::kNeon, size, options.frames);
-    const auto serial = run_probe(EngineChoice::kFpga, size, options.frames);
-    const auto batched = run_probe(EngineChoice::kFpgaBatched, size, options.frames);
+    const auto neon = run_probe(EngineChoice::kNeon, size, config);
+    const auto serial = run_probe(EngineChoice::kFpga, size, config);
+    const auto batched = run_probe(EngineChoice::kFpgaBatched, size, config);
     const bool fpga_wins = batched.total < neon.total;
     if (fpga_wins && first_fpga_win == "none") first_fpga_win = size.label();
     breaks.add_row({size.label(), TextTable::num(neon.total.sec(), 3),
@@ -94,7 +95,7 @@ int main(int argc, char** argv) {
       // serial total, so the serial row needs no second fusion pass.
       sched::PipelineRunResult piped;
       double serial_mj_frame = 0.0;
-      with_backend(choice, [&](sched::TransformBackend& b) {
+      with_backend(choice, config, [&](sched::TransformBackend& b) {
         piped = sched::probe_pipelined(b, size, options.frames);
         serial_mj_frame = power::PowerModel().energy_mj(b.compute_mode(),
                                                         piped.serial_total) /
@@ -139,7 +140,7 @@ int main(int argc, char** argv) {
                    "sustained fps"});
   json::Value jdepth = json::Value::array();
   for (int frames : {1, 2, 4, 8, options.frames}) {
-    sched::BatchedFpgaBackend backend;
+    sched::BatchedFpgaBackend backend(config);
     const auto piped = sched::probe_pipelined(backend, {88, 72}, frames);
     depth.add_row({std::to_string(frames),
                    TextTable::num(piped.serial_total.sec(), 3),
@@ -166,10 +167,10 @@ int main(int argc, char** argv) {
               options.frames);
   const std::vector<sched::FramePair> stream =
       sched::make_sweep_frames({88, 72}, options.frames);
-  auto timed_run = [&stream](int nthreads, sched::PipelineRunResult* out) {
-    sched::BatchedFpgaBackend::Options bo;
-    bo.host.threads = nthreads;
-    sched::BatchedFpgaBackend backend(bo);
+  auto timed_run = [&stream, &config](int nthreads, sched::PipelineRunResult* out) {
+    sched::RunConfig rc = config;
+    rc.host.threads = nthreads;
+    sched::BatchedFpgaBackend backend(rc);
     return wall_seconds([&] { *out = sched::run_pipelined(backend, stream); });
   };
   sched::PipelineRunResult serial_run, threaded_run;
@@ -199,9 +200,5 @@ int main(int argc, char** argv) {
                .set("speedup", serial_wall / threaded_wall)
                .set("modeled_identical", modeled_identical));
 
-  if (!options.json_path.empty()) {
-    if (!json::write_file(options.json_path, jrun)) return 1;
-    std::printf("\nwrote %s\n", options.json_path.c_str());
-  }
-  return 0;
+  return write_json_report(options, jrun);
 }

@@ -22,6 +22,11 @@ int main(int argc, char** argv) {
                    (options.pipeline ? " (pipelined schedule)" : " (fps)"),
                "related work's 25/30 fps bars (§II references [6][8])");
 
+  const sched::RunConfig config = bench_run_config(options);
+  json::Value run = json_run_header("realtime", options);
+  run.set("pipeline", options.pipeline);
+  json::Value sweep = json::Value::array();
+
   const EngineChoice engines[] = {EngineChoice::kArm, EngineChoice::kNeon,
                                   options.pipeline ? EngineChoice::kFpgaBatched
                                                    : EngineChoice::kFpga,
@@ -33,13 +38,13 @@ int main(int argc, char** argv) {
     double fps[4] = {};
     for (int i = 0; i < 4; ++i) {
       if (options.pipeline) {
-        with_backend(engines[i], [&](sched::TransformBackend& backend) {
-          fps[i] = sched::probe_pipelined(backend, size, options.frames)
+        with_backend(engines[i], config, [&](sched::TransformBackend& backend) {
+          fps[i] = sched::probe_pipelined(backend, size, config.frames)
                        .sustained_fps;
         });
       } else {
-        const auto r = run_probe(engines[i], size, options.frames);
-        fps[i] = options.frames / r.total.sec();
+        const auto r = run_probe(engines[i], size, config);
+        fps[i] = config.frames / r.total.sec();
       }
     }
     auto capable = [&](double bar) {
@@ -55,7 +60,14 @@ int main(int argc, char** argv) {
     table.add_row({size.label(), TextTable::num(fps[0], 1), TextTable::num(fps[1], 1),
                    TextTable::num(fps[2], 1), TextTable::num(fps[3], 1), capable(25.0),
                    capable(30.0)});
+    json::Value row = json::Value::object();
+    row.set("frame_size", size.label());
+    for (int i = 0; i < 4; ++i) {
+      row.set(std::string(engine_label(engines[i])) + "_fps", fps[i]);
+    }
+    sweep.push(std::move(row));
   }
+  run.set("sweep", std::move(sweep));
   std::printf("%s\n", table.to_string().c_str());
   if (options.pipeline) {
     std::printf("with batched line submission and the 4-stage frame pipeline the\n"
@@ -67,5 +79,5 @@ int main(int argc, char** argv) {
                 "rate at 88x72 would need roughly another 3x — visible here as the\n"
                 "25/30 fps bars being cleared only at the small extraction sizes.\n");
   }
-  return 0;
+  return write_json_report(options, run);
 }

@@ -12,6 +12,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -112,64 +113,50 @@ inline void note_frames_unused(const BenchOptions& options, const char* reason) 
   }
 }
 
-enum class EngineChoice { kArm, kNeon, kFpga, kFpgaBatched, kAdaptive };
-
-inline const char* engine_label(EngineChoice e) {
-  switch (e) {
-    case EngineChoice::kArm:
-      return "ARM";
-    case EngineChoice::kNeon:
-      return "NEON";
-    case EngineChoice::kFpga:
-      return "FPGA";
-    case EngineChoice::kFpgaBatched:
-      return "FPGA+batch";
-    case EngineChoice::kAdaptive:
-      return "Adaptive";
+// Shared --json writer: no-op without --json. Returns the bench's exit-code
+// contribution (0 on success, 1 on a write failure) so main can `return` it.
+inline int write_json_report(const BenchOptions& options, const json::Value& run) {
+  if (options.json_path.empty()) return 0;
+  if (!json::write_file(options.json_path, run)) {
+    std::fprintf(stderr, "failed to write %s\n", options.json_path.c_str());
+    return 1;
   }
-  return "?";
+  std::printf("\nwrote %s\n", options.json_path.c_str());
+  return 0;
 }
 
-// Runs `fn` with a freshly constructed backend of the requested kind.
-inline void with_backend(EngineChoice choice,
+// The bench spelling of the backend kind is the scheduler's own enum since
+// the PR 7 API redesign; every bench builds backends via make_backend.
+using EngineChoice = sched::BackendKind;
+
+inline const char* engine_label(EngineChoice e) { return sched::backend_name(e); }
+
+// The harness flags (--frames/--threads/--kernels) folded into the one
+// RunConfig every backend is built from, so each sweep explicitly carries
+// the host pool it numerics on.
+inline sched::RunConfig bench_run_config(const BenchOptions& options) {
+  sched::RunConfig config;
+  config.frames = options.frames;
+  config.host.threads = host::default_threads();
+  config.kernels = options.kernels;
+  return config;
+}
+
+// Runs `fn` with a freshly factory-built backend of the requested kind.
+inline void with_backend(EngineChoice choice, const sched::RunConfig& config,
                          const std::function<void(sched::TransformBackend&)>& fn) {
-  switch (choice) {
-    case EngineChoice::kArm: {
-      sched::ArmBackend b;
-      fn(b);
-      return;
-    }
-    case EngineChoice::kNeon: {
-      sched::NeonBackend b;
-      fn(b);
-      return;
-    }
-    case EngineChoice::kFpga: {
-      sched::FpgaBackend b;
-      fn(b);
-      return;
-    }
-    case EngineChoice::kFpgaBatched: {
-      sched::BatchedFpgaBackend b;
-      fn(b);
-      return;
-    }
-    case EngineChoice::kAdaptive: {
-      sched::AdaptiveBackend b;
-      fn(b);
-      return;
-    }
-  }
+  const std::unique_ptr<sched::TransformBackend> backend =
+      sched::make_backend(choice, config);
+  fn(*backend);
 }
 
-// 10-frame probe of one engine at one size (fresh backend per call).
+// Probe of one engine at one size (fresh backend per call); frame count and
+// fusion settings come from the config.
 inline sched::ProbeResult run_probe(EngineChoice choice, const sched::FrameSize& size,
-                                    int frames = kPaperFrameCount) {
-  sched::ProbeResult result;
-  with_backend(choice, [&](sched::TransformBackend& backend) {
-    result = sched::probe_backend(backend, size, frames);
-  });
-  return result;
+                                    const sched::RunConfig& config) {
+  const std::unique_ptr<sched::TransformBackend> backend =
+      sched::make_backend(choice, config);
+  return sched::probe_backend(*backend, size, config.frames, config.fuse);
 }
 
 inline void print_header(const std::string& title, const std::string& paper_ref) {

@@ -64,4 +64,18 @@ ResourceUsage estimate_engine_resources_fixed(const WaveletEngineConfig& config,
   return u;
 }
 
+int max_engine_instances(const DevicePart& part, const ResourceUsage& per_engine) {
+  int fit = 1 << 30;
+  const auto cap = [&fit](int have, int need) {
+    if (need > 0 && have / need < fit) fit = have / need;
+  };
+  cap(part.registers, per_engine.registers);
+  cap(part.luts, per_engine.luts);
+  cap(part.slices, per_engine.slices);
+  cap(part.bram36, per_engine.bram36);
+  cap(part.dsp48, per_engine.dsp48);
+  // BUFG intentionally excluded: the clock trees are shared by all instances.
+  return fit;
+}
+
 }  // namespace vf::hw

@@ -58,4 +58,11 @@ struct FixedPointFormat;  // src/hw/fixed_point.h
 ResourceUsage estimate_engine_resources_fixed(const WaveletEngineConfig& config,
                                               const FixedPointFormat& fmt);
 
+// How many independent instances of a `per_engine` datapath fit the part:
+// the minimum across resource classes the instance actually consumes. BUFG
+// clock trees are shared (every instance rides the same PS/PL/DMA clocks),
+// so they do not divide. The paper's float engine fits once (slice-bound at
+// 59%); the Q2.16 fixed-point datapath about seven times (DSP48-bound).
+int max_engine_instances(const DevicePart& part, const ResourceUsage& per_engine);
+
 }  // namespace vf::hw

@@ -212,6 +212,11 @@ class FpgaBackend::Filter : public dwt::LineFilter {
   CpuCostModel cpu_;
 };
 
+FpgaBackend::FpgaBackend(const RunConfig& config)
+    : TransformBackend(config.host),
+      accel_(config.engine, config.driver_costs),
+      filter_(std::make_unique<Filter>(this, &accel_)) {}
+
 FpgaBackend::FpgaBackend(const hw::WaveletEngineConfig& engine,
                          const driver::DriverCosts& costs, const HostConfig& host)
     : TransformBackend(host),
@@ -276,6 +281,12 @@ class AdaptiveBackend::Filter : public dwt::LineFilter {
   LineRouter* router_;
   CpuCostModel neon_;
 };
+
+AdaptiveBackend::AdaptiveBackend(const RunConfig& config)
+    : TransformBackend(config.host),
+      accel_(config.engine, config.driver_costs),
+      router_(config.adaptive_threshold_samples),
+      filter_(std::make_unique<Filter>(this, &accel_, &router_)) {}
 
 AdaptiveBackend::AdaptiveBackend(const Options& options)
     : TransformBackend(options.host),

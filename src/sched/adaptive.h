@@ -20,20 +20,13 @@
 #include "src/hw/resources.h"
 #include "src/image/metrics.h"
 #include "src/power/recorder.h"
+#include "src/sched/run_config.h"
 
 namespace vf::sched {
 
 // --- frame sweep ------------------------------------------------------------
-
-struct FrameSize {
-  int width = 0;
-  int height = 0;
-  std::string label() const;
-  int pixels() const { return width * height; }
-};
-
-// The five sizes of the paper's figures: 32x24, 35x35, 40x40, 64x48, 88x72.
-std::vector<FrameSize> paper_frame_sizes();
+// (FrameSize / paper_frame_sizes live in run_config.h since the PR 7 API
+// redesign; this header re-exports them via the include above.)
 
 struct FramePair {
   image::ImageF visible;
@@ -172,7 +165,11 @@ class CpuTimedFilter : public dwt::LineFilter {
 
 class ArmBackend : public TransformBackend {
  public:
-  explicit ArmBackend(const HostConfig& host = {})
+  ArmBackend() : ArmBackend(RunConfig{}) {}
+  explicit ArmBackend(const RunConfig& config)
+      : TransformBackend(config.host), filter_(this, arm_cost_model()) {}
+  [[deprecated("construct via sched::RunConfig / make_backend")]]  //
+  explicit ArmBackend(const HostConfig& host)
       : TransformBackend(host), filter_(this, arm_cost_model()) {}
   const char* name() const override { return "ARM"; }
   power::ComputeMode compute_mode() const override {
@@ -186,7 +183,11 @@ class ArmBackend : public TransformBackend {
 
 class NeonBackend : public TransformBackend {
  public:
-  explicit NeonBackend(const HostConfig& host = {})
+  NeonBackend() : NeonBackend(RunConfig{}) {}
+  explicit NeonBackend(const RunConfig& config)
+      : TransformBackend(config.host), filter_(this, neon_cost_model()) {}
+  [[deprecated("construct via sched::RunConfig / make_backend")]]  //
+  explicit NeonBackend(const HostConfig& host)
       : TransformBackend(host), filter_(this, neon_cost_model()) {}
   const char* name() const override { return "NEON"; }
   power::ComputeMode compute_mode() const override {
@@ -200,7 +201,10 @@ class NeonBackend : public TransformBackend {
 
 class FpgaBackend : public TransformBackend {
  public:
-  explicit FpgaBackend(const hw::WaveletEngineConfig& engine = {},
+  FpgaBackend() : FpgaBackend(RunConfig{}) {}
+  explicit FpgaBackend(const RunConfig& config);
+  [[deprecated("construct via sched::RunConfig / make_backend")]]  //
+  explicit FpgaBackend(const hw::WaveletEngineConfig& engine,
                        const driver::DriverCosts& costs = {},
                        const HostConfig& host = {});
   ~FpgaBackend() override;
@@ -243,6 +247,7 @@ class LineRouter {
 
 class AdaptiveBackend : public TransformBackend {
  public:
+  // Pre-RunConfig option bag, kept only for the deprecated shim below.
   struct Options {
     // Calibrated crossover: lines at least this long go to the FPGA engine,
     // shorter ones stay on NEON (see calibrate.h).
@@ -252,7 +257,9 @@ class AdaptiveBackend : public TransformBackend {
     HostConfig host;
   };
 
-  AdaptiveBackend() : AdaptiveBackend(Options{}) {}
+  AdaptiveBackend() : AdaptiveBackend(RunConfig{}) {}
+  explicit AdaptiveBackend(const RunConfig& config);
+  [[deprecated("construct via sched::RunConfig / make_backend")]]  //
   explicit AdaptiveBackend(const Options& options);
   ~AdaptiveBackend() override;
 

@@ -20,9 +20,9 @@ ThresholdCalibration calibrate_adaptive_threshold(CrossoverMetric metric,
   for (const int threshold : cal.candidates) {
     double cost = 0.0;
     for (const FrameSize& size : sizes) {
-      AdaptiveBackend::Options options;
-      options.threshold_samples = threshold;
-      AdaptiveBackend backend(options);
+      RunConfig run;
+      run.adaptive_threshold_samples = threshold;
+      AdaptiveBackend backend(run);
       const ProbeResult r = probe_backend(backend, size, frames, config);
       cost += metric == CrossoverMetric::kTotalTime ? r.total.sec() : r.energy_mj;
     }

@@ -1,0 +1,174 @@
+// Fleet scheduler: N concurrent fusion streams over M modeled PL engines
+// and K PS cores (PR 7 tentpole; ROADMAP "multi-stream fleet scheduler").
+//
+// The production north star is judged on per-stream latency percentiles and
+// dropped frames, not aggregate fps. Streams arrive at camera rate
+// (configurable fps + deterministic jitter) instead of all-at-t=0, carry a
+// bounded frame queue with drop-on-overflow, and an admission/placement
+// layer dispatches their pipeline stages onto shared timeline resources:
+// K PS cores (one home core per stream) and M PL engine slots, bounded by
+// the Table-I resource model (hw::max_engine_instances — the paper's float
+// engine fits the xc7z020 once; the Q2.16 fixed-point datapath about seven
+// times). Idle engines may be stolen across streams, and a stream whose
+// engine wait exceeds a fraction of its frame period spills the frame to
+// the NEON cost model instead of queueing on the PL.
+//
+// The same event-driven core schedules sched::run_pipelined's overlapped
+// path, so a 1-stream fleet at camera-rate-0 reproduces run_pipelined
+// bit-for-bit (tests/test_fleet.cpp locks makespan and energy equality).
+//
+// Everything is modeled and deterministic: stage costs come from the same
+// per-frame PS/PL-split ledgers as run_pipelined, the dispatch order is a
+// pure function of those costs, and energy integrates over the merged
+// engine-busy intervals via PowerRecorder::run_timeline (DESIGN.md §4).
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "src/common/timeline.h"
+#include "src/sched/adaptive.h"
+
+namespace vf::sched {
+
+// --- public fleet API -------------------------------------------------------
+
+// Arrival process of one camera stream. fps == 0 means the whole stream is
+// ready at t=0 (the batch mode run_pipelined uses); otherwise frame f
+// arrives at offset + f/fps + jitter, with jitter drawn deterministically
+// (per stream, per frame) uniform in [0, jitter_frac/fps).
+struct ArrivalModel {
+  double fps = 0.0;
+  double jitter_frac = 0.0;  // in [0, 1)
+  SimDuration offset;
+};
+
+struct StreamConfig {
+  BackendKind backend = BackendKind::kFpgaBatched;
+  RunConfig run;  // frame size, frame count, host, engine/driver config, ...
+  ArrivalModel arrival;
+  // Admission bound: a frame arriving while this many admitted frames still
+  // wait for their first dispatch is dropped. <= 0 = unbounded.
+  int queue_depth = 4;
+};
+
+struct FleetConfig {
+  int engines = 1;  // M modeled PL engine slots
+  int cores = 2;    // K PS cores (the ZC702 has two Cortex-A9s)
+  // Frames of one stream in flight at once (run_pipelined's 4-stage window).
+  int pipeline_depth = 4;
+  // Placement policy: steal any idle engine vs stay on the home engine
+  // (stream's RunConfig::engine_id, or stream index modulo M).
+  bool steal_engines = true;
+  // > 0: when the shortest engine wait at admission exceeds this fraction of
+  // the stream's frame period, the frame falls back to the NEON cost model
+  // instead of queueing on the saturated PL. 0 disables the spill.
+  double spill_wait_frac = 0.0;
+  // Resource model used to validate `engines` against the part: the paper's
+  // float32 datapath (one instance fits) or the Q2.16 fixed-point datapath
+  // (about seven fit). run_fleet aborts loudly on an impossible count.
+  bool fixed_point_engines = false;
+  hw::WaveletEngineConfig engine_config;  // per-instance resource footprint
+};
+
+struct StreamStats {
+  int arrived = 0;
+  int admitted = 0;
+  int dropped = 0;
+  int completed = 0;
+  int spilled = 0;  // frames that fell back to the NEON cost model
+  // Per-frame latency (completion - arrival) percentiles, nearest-rank over
+  // the stream's completed frames.
+  SimDuration p50_latency, p99_latency, max_latency;
+  SimDuration last_completion;
+  SimDuration ps_busy, pl_busy;  // this stream's resource occupancy
+  // Fleet energy attributed by busy-time share (the modeled board draws one
+  // system power; per-stream energy is an accounting split, not a meter).
+  double energy_mj = 0.0;
+  double energy_per_frame_mj() const {
+    return completed > 0 ? energy_mj / completed : 0.0;
+  }
+};
+
+struct FleetResult {
+  SimDuration makespan;
+  std::vector<StreamStats> streams;
+  int arrived = 0, admitted = 0, dropped = 0, completed = 0;
+  SimDuration ps_busy, pl_busy;  // summed over cores / engines
+  // PowerRecorder::run_timeline over the merged engine-busy intervals:
+  // loaded keeps the +3.6% PL draw for the whole run (paper methodology),
+  // gated charges it only while some engine is actually busy.
+  double energy_mj = 0.0;
+  double energy_gated_mj = 0.0;
+
+  double energy_per_frame_mj() const {
+    return completed > 0 ? energy_mj / completed : 0.0;
+  }
+};
+
+// Runs the fleet: per-stream pass 1 (serial numerics through the stream's
+// factory-built backend, per-frame PS/PL-split stage costs), then the
+// event-driven dispatch of every stage onto the shared cores/engines, then
+// stats + energy integration. Deterministic at any --threads.
+FleetResult run_fleet(const std::vector<StreamConfig>& streams,
+                      const FleetConfig& fleet = {});
+
+// --- shared event-driven core (used by run_fleet and run_pipelined) ---------
+
+namespace detail {
+
+struct FleetStageCost {
+  SimDuration ps, pl;
+};
+
+struct FleetStreamInput {
+  // Per frame: arrival time and the 4-stage (prep/fwd/fus/inv) cost split.
+  std::vector<SimDuration> arrivals;
+  std::vector<std::array<FleetStageCost, 4>> cost;
+  // Non-empty to enable the NEON spill: per-frame stage costs of the same
+  // frames on the NEON cost model (all-PS).
+  std::vector<std::array<FleetStageCost, 4>> spill_cost;
+  SimDuration period;   // frame period; zero = batch mode (no spill, no jitter)
+  int queue_depth = 0;  // <= 0 = unbounded
+  int home_engine = 0;
+};
+
+struct FleetFrameOutcome {
+  bool dropped = false;
+  bool spilled = false;
+  SimDuration completion;
+  SimDuration latency;  // completion - arrival (dropped frames: zero)
+};
+
+struct FleetSchedule {
+  Timeline timeline;
+  std::vector<ResourceId> cores, engines;
+  std::vector<std::vector<FleetFrameOutcome>> frames;  // per stream, per frame
+  std::vector<SimDuration> stream_ps_busy, stream_pl_busy;
+};
+
+// Event-driven non-delay list scheduling: among all eligible stage dispatches
+// (stage-chain and pipeline-depth gated, per-stream FIFO), the one with the
+// earliest feasible start commits first; ties break by stage (older frames
+// first), frame, then stream. Arrivals interleave in simulated-time order,
+// and a frame is dropped at its arrival instant when the stream's admitted-
+// but-unstarted backlog has reached queue_depth.
+FleetSchedule schedule_fleet(const std::vector<FleetStreamInput>& streams,
+                             int cores, int engines, int pipeline_depth,
+                             bool steal_engines, double spill_wait_frac);
+
+struct FleetEnergy {
+  double loaded_mj = 0.0;
+  double gated_mj = 0.0;
+};
+
+// Shared energy integration (bit-identical between run_fleet and
+// run_pipelined): `mode` power over the whole makespan (loaded), and with
+// the engine draw gated to the merged busy intervals of `engines`.
+FleetEnergy integrate_fleet_energy(const Timeline& timeline,
+                                   const std::vector<ResourceId>& engines,
+                                   power::ComputeMode mode);
+
+}  // namespace detail
+
+}  // namespace vf::sched

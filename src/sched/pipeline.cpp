@@ -6,6 +6,7 @@
 #include "src/hw/clock.h"
 #include "src/hw/cost_constants.h"
 #include "src/power/recorder.h"
+#include "src/sched/fleet.h"
 #include "src/simd/kernels.h"
 
 namespace vf::sched {
@@ -54,6 +55,15 @@ class BatchedFpgaBackend::Filter : public dwt::LineFilter {
   driver::PipelinedWaveletAccelerator* accel_;
   CpuCostModel cpu_;
 };
+
+BatchedFpgaBackend::BatchedFpgaBackend(const RunConfig& config)
+    : TransformBackend(config.host),
+      ps_(timeline_.add_resource("PS core")),
+      dma_(timeline_.add_resource("ACP DMA")),
+      pl_(timeline_.add_resource("PL engine")),
+      accel_(config.engine, config.driver_costs, config.batching, &timeline_,
+             ps_, dma_, pl_),
+      filter_(std::make_unique<Filter>(this, &accel_)) {}
 
 BatchedFpgaBackend::BatchedFpgaBackend(const Options& options)
     : TransformBackend(options.host),
@@ -133,81 +143,96 @@ PipelineRunResult run_pipelined(TransformBackend& backend,
     }});
   }
 
-  // Pass 2: re-schedule the stages on a fresh two-resource timeline. The PS
-  // part of a stage (driver calls, fusion rule, prep) runs on the PS core;
-  // the PL part follows it on the engine+DMA resource. Stages of one frame
-  // chain by data dependency; stages of *different* frames share only the
-  // resources, which is where the overlap comes from.
-  Timeline tl;
-  const ResourceId ps = tl.add_resource("PS core");
-  const ResourceId pl = tl.add_resource("PL engine + DMA");
-  const int n = result.frames;
-  std::vector<SimDuration> stage_done(static_cast<std::size_t>(n) * kStages);
-  auto done = [&](int f, int s) -> SimDuration& {
-    return stage_done[static_cast<std::size_t>(f) * kStages + s];
-  };
-
-  auto schedule_stage = [&](int f, int s, SimDuration ready) {
-    const StageCost& c = cost[f][s];
-    SimDuration end = ready;
-    if (c.ps > SimDuration::zero() || c.pl == SimDuration::zero()) {
-      end = tl.schedule(ps, c.label, ready, c.ps).end;
-    }
-    if (c.pl > SimDuration::zero()) {
-      end = tl.schedule(pl, c.label, end, c.pl).end;
-    }
-    done(f, s) = end;
-  };
-
+  // Pass 2: re-schedule the stages on a fresh timeline. The PS part of a
+  // stage (driver calls, fusion rule, prep) runs on the PS core; the PL part
+  // follows it on the engine+DMA resource. Stages of one frame chain by data
+  // dependency; stages of *different* frames share only the resources, which
+  // is where the overlap comes from.
+  //
+  // Energy in both branches: `energy_mj` keeps the paper's methodology (the
+  // loaded bitstream's +3.6% draw for the whole run when the backend uses
+  // the PL at all); `energy_gated_mj` charges the engine draw only while the
+  // PL/DMA resource is actually busy — and because intervals are merged,
+  // concurrent PS+PL activity is charged once.
+  const power::ComputeMode mode = backend.compute_mode();
   if (options.overlap) {
-    // Software-pipeline order: in each slot, the oldest in-flight frame's
-    // stage is placed first so the greedy per-resource schedule fills the
-    // PS with frame N-1's fusion and frame N+1's prep while the PL engine
-    // transforms frame N.
-    for (int slot = 0; slot < n + kStages - 1; ++slot) {
-      for (int s = kStages - 1; s >= 0; --s) {
-        const int f = slot - s;
-        if (f < 0 || f >= n) continue;
-        schedule_stage(f, s, s == 0 ? SimDuration::zero() : done(f, s - 1));
-      }
+    // Overlapped schedule = a 1-stream fleet with every frame ready at t=0
+    // and an unbounded queue. Sharing detail::schedule_fleet (rather than a
+    // second scheduler) is what makes the fleet's 1-stream case reproduce
+    // this path bit-for-bit (tests/test_fleet.cpp).
+    detail::FleetStreamInput in;
+    in.arrivals.assign(frames.size(), SimDuration::zero());
+    in.cost.reserve(cost.size());
+    for (const auto& c : cost) {
+      in.cost.push_back({{{c[0].ps, c[0].pl},
+                          {c[1].ps, c[1].pl},
+                          {c[2].ps, c[2].pl},
+                          {c[3].ps, c[3].pl}}});
     }
+    const detail::FleetSchedule sched = detail::schedule_fleet(
+        {in}, /*cores=*/1, /*engines=*/1,
+        options.depth < 1 ? 1 : options.depth,
+        /*steal_engines=*/true, /*spill_wait_frac=*/0.0);
+    result.makespan = sched.timeline.makespan();
+    result.ps_busy = sched.timeline.busy_time(sched.cores[0]);
+    result.pl_busy = sched.timeline.busy_time(sched.engines[0]);
+    const detail::FleetEnergy energy =
+        detail::integrate_fleet_energy(sched.timeline, sched.engines, mode);
+    result.energy_mj = energy.loaded_mj;
+    result.energy_gated_mj = energy.gated_mj;
   } else {
     // Serial schedule: every stage waits for the previous one, frames do
     // not overlap — the event-queue equivalent of the additive ledger.
+    Timeline tl;
+    const ResourceId ps = tl.add_resource("PS core");
+    const ResourceId pl = tl.add_resource("PL engine + DMA");
+    const int n = result.frames;
     SimDuration prev;
     for (int f = 0; f < n; ++f) {
       for (int s = 0; s < kStages; ++s) {
-        schedule_stage(f, s, prev);
-        prev = done(f, s);
+        const StageCost& c = cost[static_cast<std::size_t>(f)][static_cast<std::size_t>(s)];
+        SimDuration end = prev;
+        if (c.ps > SimDuration::zero() || c.pl == SimDuration::zero()) {
+          end = tl.schedule(ps, c.label, prev, c.ps).end;
+        }
+        if (c.pl > SimDuration::zero()) {
+          end = tl.schedule(pl, c.label, end, c.pl).end;
+        }
+        prev = end;
       }
     }
+    result.makespan = tl.makespan();
+    result.ps_busy = tl.busy_time(ps);
+    result.pl_busy = tl.busy_time(pl);
+    const detail::FleetEnergy energy =
+        detail::integrate_fleet_energy(tl, {pl}, mode);
+    result.energy_mj = energy.loaded_mj;
+    result.energy_gated_mj = energy.gated_mj;
   }
-
-  result.makespan = tl.makespan();
-  result.ps_busy = tl.busy_time(ps);
-  result.pl_busy = tl.busy_time(pl);
   result.sustained_fps =
       result.makespan.sec() > 0.0 ? result.frames / result.makespan.sec() : 0.0;
-
-  // Energy: integrate mode power against the timeline. `energy_mj` keeps the
-  // paper's methodology (the loaded bitstream's +3.6% draw for the whole
-  // run when the backend uses the PL at all); `energy_gated_mj` charges the
-  // engine draw only while the PL/DMA resource is actually busy — and
-  // because intervals are merged, concurrent PS+PL activity is charged once.
-  const power::PowerModel pm;
-  const power::ComputeMode mode = backend.compute_mode();
-  power::PowerRecorder loaded(pm, SimDuration::milliseconds(1));
-  loaded.run_timeline(tl, {pl}, /*idle=*/mode, /*active=*/mode);
-  result.energy_mj = loaded.exact_energy_mj();
-  power::PowerRecorder gated(pm, SimDuration::milliseconds(1));
-  gated.run_timeline(tl, {pl}, power::ComputeMode::kArmOnly, mode);
-  result.energy_gated_mj = gated.exact_energy_mj();
   return result;
+}
+
+PipelineRunResult run_pipelined(TransformBackend& backend,
+                                const std::vector<FramePair>& frames,
+                                const RunConfig& config) {
+  PipelineOptions options;
+  options.overlap = config.pipeline_depth > 1;
+  options.depth = config.pipeline_depth;
+  options.fuse = config.fuse;
+  return run_pipelined(backend, frames, options);
 }
 
 PipelineRunResult probe_pipelined(TransformBackend& backend, const FrameSize& size,
                                   int frames, const PipelineOptions& options) {
   return run_pipelined(backend, make_sweep_frames(size, frames), options);
+}
+
+PipelineRunResult probe_pipelined(TransformBackend& backend,
+                                  const RunConfig& config) {
+  return run_pipelined(
+      backend, make_sweep_frames(config.frame_size, config.frames), config);
 }
 
 }  // namespace vf::sched

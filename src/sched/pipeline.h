@@ -40,6 +40,7 @@ namespace vf::sched {
 // frame_times().total() is the PS-visible end-to-end time, overlap included.
 class BatchedFpgaBackend : public TransformBackend {
  public:
+  // Pre-RunConfig option bag, kept only for the deprecated shim below.
   struct Options {
     hw::WaveletEngineConfig engine;
     driver::DriverCosts driver_costs;
@@ -47,7 +48,9 @@ class BatchedFpgaBackend : public TransformBackend {
     HostConfig host;
   };
 
-  BatchedFpgaBackend() : BatchedFpgaBackend(Options{}) {}
+  BatchedFpgaBackend() : BatchedFpgaBackend(RunConfig{}) {}
+  explicit BatchedFpgaBackend(const RunConfig& config);
+  [[deprecated("construct via sched::RunConfig / make_backend")]]  //
   explicit BatchedFpgaBackend(const Options& options);
   ~BatchedFpgaBackend() override;
 
@@ -91,6 +94,9 @@ struct PipelineOptions {
   // Frame-level overlap. Off reproduces the serial schedule: makespan ==
   // the additive ledger total (up to float summation order).
   bool overlap = true;
+  // Frames in flight at once on the overlapped schedule (the 4-stage
+  // software-pipeline window).
+  int depth = 4;
   fusion::FuseConfig fuse;
 };
 
@@ -124,8 +130,17 @@ PipelineRunResult run_pipelined(TransformBackend& backend,
                                 const std::vector<FramePair>& frames,
                                 const PipelineOptions& options = {});
 
+// RunConfig spelling: pipeline_depth <= 1 disables the overlap.
+PipelineRunResult run_pipelined(TransformBackend& backend,
+                                const std::vector<FramePair>& frames,
+                                const RunConfig& config);
+
 // Convenience: run_pipelined over the deterministic sweep scene.
 PipelineRunResult probe_pipelined(TransformBackend& backend, const FrameSize& size,
                                   int frames, const PipelineOptions& options = {});
+
+// RunConfig spelling: frame size and count come from the config.
+PipelineRunResult probe_pipelined(TransformBackend& backend,
+                                  const RunConfig& config);
 
 }  // namespace vf::sched

@@ -1,0 +1,241 @@
+// Fleet scheduler tests (PR 7): admission under saturation, engine stealing,
+// queue-overflow drops, the 1-stream == run_pipelined bit-identity contract,
+// and determinism at any host pool width.
+#include <gtest/gtest.h>
+
+#include "src/hw/fixed_point.h"
+#include "src/sched/fleet.h"
+#include "src/sched/pipeline.h"
+
+namespace vf {
+namespace {
+
+sched::StreamConfig camera_stream(const sched::FrameSize& size, int frames,
+                                  double fps) {
+  sched::StreamConfig s;
+  s.backend = sched::BackendKind::kFpgaBatched;
+  s.run.frame_size = size;
+  s.run.frames = frames;
+  s.arrival.fps = fps;
+  s.arrival.jitter_frac = 0.2;
+  return s;
+}
+
+// --- Table-I engine fit ------------------------------------------------------
+
+TEST(EngineFit, FloatDatapathFitsOnceFixedPointSeveralTimes) {
+  const hw::DevicePart part;
+  const int float_fit = hw::max_engine_instances(
+      part, hw::estimate_engine_resources(hw::WaveletEngineConfig{}));
+  const int fixed_fit = hw::max_engine_instances(
+      part, hw::estimate_engine_resources_fixed(hw::WaveletEngineConfig{},
+                                                hw::FixedPointFormat{}));
+  EXPECT_EQ(float_fit, 1);  // Table I: 59% of slices per instance
+  EXPECT_GE(fixed_fit, 4);
+  EXPECT_LE(fixed_fit, 16);
+}
+
+// --- backend factory ---------------------------------------------------------
+
+TEST(BackendFactory, BuildsEveryKindWithMatchingNameAndMode) {
+  const struct {
+    sched::BackendKind kind;
+    const char* name;
+    power::ComputeMode mode;
+  } cases[] = {
+      {sched::BackendKind::kArm, "ARM", power::ComputeMode::kArmOnly},
+      {sched::BackendKind::kNeon, "NEON", power::ComputeMode::kArmNeon},
+      {sched::BackendKind::kFpga, "FPGA", power::ComputeMode::kArmFpga},
+      {sched::BackendKind::kFpgaBatched, "FPGA+batch",
+       power::ComputeMode::kArmFpga},
+      {sched::BackendKind::kAdaptive, "Adaptive", power::ComputeMode::kArmFpga},
+  };
+  for (const auto& c : cases) {
+    const auto backend = sched::make_backend(c.kind, sched::RunConfig{});
+    ASSERT_NE(backend, nullptr);
+    EXPECT_STREQ(backend->name(), c.name);
+    EXPECT_STREQ(sched::backend_name(c.kind), c.name);
+    EXPECT_EQ(backend->compute_mode(), c.mode);
+  }
+}
+
+// --- 1-stream fleet == run_pipelined ----------------------------------------
+
+// The contract that keeps the fleet honest: with one stream, every frame
+// ready at t=0, an unbounded queue, one core and one engine, run_fleet must
+// reproduce run_pipelined's overlapped schedule bit-for-bit — makespan,
+// busy times, and both energy integrals as exact doubles.
+TEST(Fleet, OneStreamReproducesRunPipelinedBitForBit) {
+  const sched::FrameSize size{88, 72};
+  const int frames = 6;
+
+  sched::RunConfig run;
+  run.frame_size = size;
+  run.frames = frames;
+  sched::BatchedFpgaBackend backend(run);
+  const sched::PipelineRunResult piped =
+      sched::run_pipelined(backend, sched::make_sweep_frames(size, frames));
+
+  sched::StreamConfig stream;
+  stream.backend = sched::BackendKind::kFpgaBatched;
+  stream.run = run;
+  stream.arrival.fps = 0.0;  // batch mode: everything ready at t=0
+  stream.queue_depth = 0;    // unbounded, as run_pipelined has no admission
+  sched::FleetConfig fleet;
+  fleet.engines = 1;
+  fleet.cores = 1;
+  fleet.pipeline_depth = 4;
+  const sched::FleetResult r = sched::run_fleet({stream}, fleet);
+
+  EXPECT_TRUE(r.makespan == piped.makespan)
+      << r.makespan.sec() << " vs " << piped.makespan.sec();
+  EXPECT_TRUE(r.ps_busy == piped.ps_busy);
+  EXPECT_TRUE(r.pl_busy == piped.pl_busy);
+  EXPECT_EQ(r.energy_mj, piped.energy_mj);
+  EXPECT_EQ(r.energy_gated_mj, piped.energy_gated_mj);
+  ASSERT_EQ(r.streams.size(), 1u);
+  EXPECT_EQ(r.dropped, 0);
+  EXPECT_EQ(r.completed, frames);
+  EXPECT_TRUE(r.streams[0].last_completion == piped.makespan);
+}
+
+// --- admission / drops -------------------------------------------------------
+
+TEST(Fleet, BoundedQueueDropsUnderSaturationDeterministically) {
+  // Two 120 fps cameras at the full frame on a single engine: far beyond the
+  // sustainable rate, so the bounded queues must shed frames.
+  std::vector<sched::StreamConfig> streams = {
+      camera_stream({88, 72}, 12, 120.0), camera_stream({88, 72}, 12, 120.0)};
+  for (auto& s : streams) s.queue_depth = 2;
+  sched::FleetConfig fleet;
+  fleet.engines = 1;
+  const sched::FleetResult a = sched::run_fleet(streams, fleet);
+  EXPECT_GT(a.dropped, 0);
+  EXPECT_EQ(a.arrived, 24);
+  EXPECT_EQ(a.admitted + a.dropped, a.arrived);
+  EXPECT_EQ(a.completed, a.admitted);
+  for (const sched::StreamStats& s : a.streams) {
+    EXPECT_EQ(s.arrived, 12);
+    EXPECT_EQ(s.admitted + s.dropped, s.arrived);
+    EXPECT_TRUE(s.p50_latency <= s.p99_latency);
+    EXPECT_TRUE(s.p99_latency <= s.max_latency);
+  }
+
+  // Same inputs, same schedule: the whole run is a pure function.
+  const sched::FleetResult b = sched::run_fleet(streams, fleet);
+  EXPECT_TRUE(a.makespan == b.makespan);
+  EXPECT_EQ(a.dropped, b.dropped);
+  EXPECT_EQ(a.energy_mj, b.energy_mj);
+}
+
+TEST(Fleet, UnboundedQueueNeverDrops) {
+  std::vector<sched::StreamConfig> streams = {
+      camera_stream({64, 48}, 8, 120.0), camera_stream({64, 48}, 8, 120.0)};
+  for (auto& s : streams) s.queue_depth = 0;
+  sched::FleetConfig fleet;
+  fleet.engines = 1;
+  const sched::FleetResult r = sched::run_fleet(streams, fleet);
+  EXPECT_EQ(r.dropped, 0);
+  EXPECT_EQ(r.completed, 16);
+}
+
+// --- engine stealing ---------------------------------------------------------
+
+// Synthetic stage costs make the placement arithmetic exact: three streams
+// of pure-PL frames over two engines. Home placement maps streams 0 and 2
+// onto engine 0 (16 frames x 10 ms serialized); stealing balances the same
+// work across both engines.
+TEST(Fleet, StealingIdleEnginesBalancesTheLoad) {
+  using sched::detail::FleetStreamInput;
+  const SimDuration stage = SimDuration::milliseconds(10);
+  const std::array<sched::detail::FleetStageCost, 4> frame_cost = {{
+      {SimDuration::zero(), stage},
+      {SimDuration::zero(), stage},
+      {SimDuration::zero(), stage},
+      {SimDuration::zero(), stage},
+  }};
+  std::vector<FleetStreamInput> inputs(3);
+  for (std::size_t s = 0; s < inputs.size(); ++s) {
+    inputs[s].arrivals.assign(4, SimDuration::zero());
+    inputs[s].cost.assign(4, frame_cost);
+    inputs[s].home_engine = static_cast<int>(s);
+  }
+  const auto stolen = sched::detail::schedule_fleet(
+      inputs, /*cores=*/1, /*engines=*/2, /*pipeline_depth=*/4,
+      /*steal_engines=*/true, 0.0);
+  const auto pinned = sched::detail::schedule_fleet(
+      inputs, /*cores=*/1, /*engines=*/2, /*pipeline_depth=*/4,
+      /*steal_engines=*/false, 0.0);
+  // 48 stage events x 10 ms over two engines: perfectly balanced when
+  // stealing (240 ms); pinned, engine 0 serializes streams 0 and 2 (320 ms).
+  // 10 ms is not binary-exact, so the chained additions need an ulp-scale
+  // tolerance rather than exact equality.
+  EXPECT_NEAR(stolen.timeline.makespan().ms(), 240.0, 1e-9);
+  EXPECT_NEAR(pinned.timeline.makespan().ms(), 320.0, 1e-9);
+}
+
+// --- NEON spill --------------------------------------------------------------
+
+TEST(Fleet, SaturatedEngineSpillsFramesToNeonCosts) {
+  // Four full-frame cameras against one engine with the spill enabled: some
+  // frames must fall back to the NEON cost model, and with unbounded queues
+  // every frame still completes.
+  std::vector<sched::StreamConfig> streams(4, camera_stream({88, 72}, 6, 30.0));
+  for (auto& s : streams) s.queue_depth = 0;
+  sched::FleetConfig fleet;
+  fleet.engines = 1;
+  fleet.spill_wait_frac = 0.5;
+  const sched::FleetResult r = sched::run_fleet(streams, fleet);
+  int spilled = 0;
+  for (const sched::StreamStats& s : r.streams) spilled += s.spilled;
+  EXPECT_GT(spilled, 0);
+  EXPECT_EQ(r.dropped, 0);
+  EXPECT_EQ(r.completed, 24);
+}
+
+// --- determinism across host pool widths -------------------------------------
+
+TEST(Fleet, ModeledResultInvariantAcrossThreads) {
+  sched::FleetResult ref;
+  const int widths[] = {1, 2, 8};
+  for (int i = 0; i < 3; ++i) {
+    std::vector<sched::StreamConfig> streams = {
+        camera_stream({64, 48}, 5, 30.0), camera_stream({32, 24}, 5, 60.0)};
+    for (auto& s : streams) s.run.host.threads = widths[i];
+    sched::FleetConfig fleet;
+    fleet.engines = 2;
+    fleet.fixed_point_engines = true;
+    fleet.spill_wait_frac = 0.5;
+    const sched::FleetResult r = sched::run_fleet(streams, fleet);
+    if (i == 0) {
+      ref = r;
+      continue;
+    }
+    EXPECT_TRUE(r.makespan == ref.makespan) << "threads=" << widths[i];
+    EXPECT_EQ(r.dropped, ref.dropped);
+    EXPECT_EQ(r.energy_mj, ref.energy_mj);
+    EXPECT_EQ(r.energy_gated_mj, ref.energy_gated_mj);
+    ASSERT_EQ(r.streams.size(), ref.streams.size());
+    for (std::size_t s = 0; s < r.streams.size(); ++s) {
+      EXPECT_TRUE(r.streams[s].p50_latency == ref.streams[s].p50_latency);
+      EXPECT_TRUE(r.streams[s].p99_latency == ref.streams[s].p99_latency);
+      EXPECT_EQ(r.streams[s].energy_mj, ref.streams[s].energy_mj);
+    }
+  }
+}
+
+// Arrival jitter is part of the model, not noise: the same stream config
+// always produces the same arrival times, and jitter keeps arrivals strictly
+// increasing (jitter_frac < 1 bounds each frame's offset under one period).
+TEST(Fleet, ArrivalsAreDeterministicAndMonotonic) {
+  const sched::StreamConfig s = camera_stream({32, 24}, 8, 30.0);
+  const sched::FleetResult a = sched::run_fleet({s});
+  const sched::FleetResult b = sched::run_fleet({s});
+  EXPECT_TRUE(a.makespan == b.makespan);
+  ASSERT_EQ(a.streams.size(), 1u);
+  EXPECT_EQ(a.streams[0].arrived, 8);
+  EXPECT_EQ(a.streams[0].completed + a.streams[0].dropped, 8);
+}
+
+}  // namespace
+}  // namespace vf

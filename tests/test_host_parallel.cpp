@@ -168,29 +168,15 @@ TEST(HostParallelIdentity, ModeledProbeInvariantAcrossThreads) {
       if (i == 0) cases.push_back({name, {}});
       cases[c++].result[i] = sched::probe_backend(b, size, frames);
     };
-    {
-      sched::ArmBackend b(host);
-      record("ARM", b);
-    }
-    {
-      sched::NeonBackend b(host);
-      record("NEON", b);
-    }
-    {
-      sched::FpgaBackend b({}, {}, host);
-      record("FPGA", b);
-    }
-    {
-      sched::BatchedFpgaBackend::Options o;
-      o.host = host;
-      sched::BatchedFpgaBackend b(o);
-      record("FPGA+batch", b);
-    }
-    {
-      sched::AdaptiveBackend::Options o;
-      o.host = host;
-      sched::AdaptiveBackend b(o);
-      record("Adaptive", b);
+    sched::RunConfig run;
+    run.host = host;
+    const sched::BackendKind kinds[] = {
+        sched::BackendKind::kArm, sched::BackendKind::kNeon,
+        sched::BackendKind::kFpga, sched::BackendKind::kFpgaBatched,
+        sched::BackendKind::kAdaptive};
+    for (const sched::BackendKind kind : kinds) {
+      const auto b = sched::make_backend(kind, run);
+      record(sched::backend_name(kind), *b);
     }
   }
   for (const Case& c : cases) {
@@ -210,9 +196,9 @@ TEST(HostParallelIdentity, PipelinedRunInvariantAcrossThreads) {
   const auto stream = sched::make_sweep_frames({88, 72}, 4);
   sched::PipelineRunResult ref;
   for (int i = 0; i < 3; ++i) {
-    sched::BatchedFpgaBackend::Options o;
-    o.host.threads = kThreadWidths[i];
-    sched::BatchedFpgaBackend backend(o);
+    sched::RunConfig rc;
+    rc.host.threads = kThreadWidths[i];
+    sched::BatchedFpgaBackend backend(rc);
     const sched::PipelineRunResult run = sched::run_pipelined(backend, stream);
     if (i == 0) {
       ref = run;

@@ -118,8 +118,8 @@ TEST(Adaptive, BeatsStaticFpgaAtFullFrame) {
 }
 
 TEST(Adaptive, ThresholdExtremesMatchStaticEngines) {
-  sched::AdaptiveBackend::Options all_fpga;
-  all_fpga.threshold_samples = 0;
+  sched::RunConfig all_fpga;
+  all_fpga.adaptive_threshold_samples = 0;
   sched::AdaptiveBackend bx(all_fpga);
   sched::FpgaBackend bf;
   const auto rx = sched::probe_backend(bx, {64, 48}, 2);
@@ -127,8 +127,8 @@ TEST(Adaptive, ThresholdExtremesMatchStaticEngines) {
   EXPECT_NEAR(rx.forward.sec(), rf.forward.sec(), 1e-12);
   EXPECT_NEAR(rx.inverse.sec(), rf.inverse.sec(), 1e-12);
 
-  sched::AdaptiveBackend::Options all_neon;
-  all_neon.threshold_samples = 1 << 20;
+  sched::RunConfig all_neon;
+  all_neon.adaptive_threshold_samples = 1 << 20;
   sched::AdaptiveBackend bn(all_neon);
   sched::NeonBackend neon;
   const auto rn1 = sched::probe_backend(bn, {64, 48}, 2);

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Compare a bench --json run against a section of BENCH_baseline.json.
+
+The modeled ZC702 numbers are deterministic and host-independent, so any
+drift between a fresh run and the checked-in baseline is a real behaviour
+change that must be reviewed (and the baseline regenerated deliberately).
+
+Usage:
+  tools/check_bench_baseline.py BASELINE.json SECTION FRESH.json
+
+Compares the baseline's `SECTION` object against the fresh run. Numeric
+leaves must agree to 1e-9 relative tolerance; strings and booleans exactly.
+Host-dependent fields (host config, wall-clock timings) are skipped by path
+substring. Exit code 1 on any drift, with a per-path report.
+"""
+import json
+import math
+import sys
+
+# Paths containing any of these substrings are host- or harness-dependent,
+# not modeled output.
+SKIP = ("host", "wall", "threads", "kernels", "simd_isa")
+
+REL_TOL = 1e-9
+
+
+def leaves(value, path=""):
+    if isinstance(value, dict):
+        for key, child in value.items():
+            yield from leaves(child, f"{path}.{key}" if path else key)
+    elif isinstance(value, list):
+        for i, child in enumerate(value):
+            yield from leaves(child, f"{path}[{i}]")
+    else:
+        yield path, value
+
+
+def skipped(path):
+    return any(token in path for token in SKIP)
+
+
+def main(argv):
+    if len(argv) != 4:
+        sys.stderr.write(__doc__)
+        return 2
+    baseline_path, section, fresh_path = argv[1], argv[2], argv[3]
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+    if section not in baseline:
+        sys.stderr.write(f"section '{section}' not in {baseline_path}\n")
+        return 2
+    with open(fresh_path) as f:
+        fresh = json.load(f)
+
+    base_leaves = {p: v for p, v in leaves(baseline[section]) if not skipped(p)}
+    fresh_leaves = {p: v for p, v in leaves(fresh) if not skipped(p)}
+
+    drifts = []
+    for path, expect in sorted(base_leaves.items()):
+        if path not in fresh_leaves:
+            drifts.append(f"missing in fresh run: {path} (baseline {expect!r})")
+            continue
+        got = fresh_leaves[path]
+        if isinstance(expect, bool) or isinstance(got, bool):
+            ok = expect == got
+        elif isinstance(expect, (int, float)) and isinstance(got, (int, float)):
+            ok = math.isclose(expect, got, rel_tol=REL_TOL, abs_tol=0.0)
+        else:
+            ok = expect == got
+        if not ok:
+            drifts.append(f"{path}: baseline {expect!r} != fresh {got!r}")
+    for path in sorted(set(fresh_leaves) - set(base_leaves)):
+        drifts.append(f"new field not in baseline: {path}")
+
+    if drifts:
+        sys.stderr.write(
+            f"modeled output drifted from {baseline_path}:{section} "
+            f"({len(drifts)} difference(s)):\n"
+        )
+        for d in drifts:
+            sys.stderr.write(f"  {d}\n")
+        sys.stderr.write(
+            "if the change is intentional, regenerate the baseline section "
+            "(see the note inside BENCH_baseline.json).\n"
+        )
+        return 1
+    print(
+        f"{fresh_path} matches {baseline_path}:{section} "
+        f"({len(base_leaves)} modeled fields)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
