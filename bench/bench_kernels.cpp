@@ -95,6 +95,81 @@ void BM_Select(benchmark::State& state, const vf::simd::KernelSet& k) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 
+// Multi-line variants: a kMaxLinesPerCall block of independent lines per
+// dispatch, the shape the tiled DT-CWT host path feeds them. Contrast with
+// the single-line rows to see the per-call amortization.
+
+void BM_AnalyzeMl(benchmark::State& state, const vf::simd::KernelSet& k) {
+  const int out_len = static_cast<int>(state.range(0));
+  const int nlines = vf::simd::kMaxLinesPerCall;
+  const int taps = 14;
+  const int x_stride = 2 * out_len + taps;
+  const auto x = randv(nlines * x_stride, 15);
+  const auto lp = randv(taps, 2);
+  const auto hp = randv(taps, 3);
+  std::vector<float> lo(static_cast<std::size_t>(nlines) * out_len);
+  std::vector<float> hi(static_cast<std::size_t>(nlines) * out_len);
+  for (auto _ : state) {
+    k.analyze_ml(x.data(), x_stride, nlines, out_len, lp.data(), hp.data(), taps,
+                 lo.data(), hi.data(), out_len);
+    benchmark::DoNotOptimize(lo.data());
+    benchmark::DoNotOptimize(hi.data());
+  }
+  state.SetItemsProcessed(state.iterations() * nlines * out_len);
+}
+
+void BM_SynthesizeMl(benchmark::State& state, const vf::simd::KernelSet& k) {
+  const int pairs = static_cast<int>(state.range(0));
+  const int nlines = vf::simd::kMaxLinesPerCall;
+  const int taps = 14;
+  const int x_stride = 2 * pairs + taps;
+  const auto x = randv(nlines * x_stride, 16);
+  const auto ca = randv(taps, 5);
+  const auto cb = randv(taps, 6);
+  std::vector<float> out(static_cast<std::size_t>(nlines) * 2 * pairs);
+  for (auto _ : state) {
+    k.synthesize_ml(x.data(), x_stride, nlines, pairs, ca.data(), cb.data(), taps,
+                    out.data(), 2 * pairs);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * nlines * pairs);
+}
+
+void BM_MagnitudeMl(benchmark::State& state, const vf::simd::KernelSet& k) {
+  const int len = static_cast<int>(state.range(0));
+  const int nlines = vf::simd::kMaxLinesPerCall;
+  const auto re = randv(nlines * len, 17);
+  const auto im = randv(nlines * len, 18);
+  std::vector<float> mag(static_cast<std::size_t>(nlines) * len);
+  for (auto _ : state) {
+    k.magnitude_ml(re.data(), im.data(), nlines, len, len, mag.data(), len);
+    benchmark::DoNotOptimize(mag.data());
+  }
+  state.SetItemsProcessed(state.iterations() * nlines * len);
+}
+
+void BM_SelectMl(benchmark::State& state, const vf::simd::KernelSet& k) {
+  const int len = static_cast<int>(state.range(0));
+  const int nlines = vf::simd::kMaxLinesPerCall;
+  const int n = nlines * len;
+  const auto a_re = randv(n, 19);
+  const auto a_im = randv(n, 20);
+  const auto b_re = randv(n, 21);
+  const auto b_im = randv(n, 22);
+  std::vector<float> mag_a(static_cast<std::size_t>(n));
+  std::vector<float> mag_b(static_cast<std::size_t>(n));
+  vf::simd::complex_magnitude_scalar(a_re.data(), a_im.data(), n, mag_a.data());
+  vf::simd::complex_magnitude_scalar(b_re.data(), b_im.data(), n, mag_b.data());
+  std::vector<float> out_re(static_cast<std::size_t>(n));
+  std::vector<float> out_im(static_cast<std::size_t>(n));
+  for (auto _ : state) {
+    k.select_ml(a_re.data(), a_im.data(), b_re.data(), b_im.data(), mag_a.data(),
+                mag_b.data(), nlines, len, len, out_re.data(), out_im.data(), len);
+    benchmark::DoNotOptimize(out_re.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
 void BM_Average(benchmark::State& state, const vf::simd::KernelSet& k) {
   const int n = static_cast<int>(state.range(0));
   const auto a = randv(n, 13);
@@ -129,6 +204,20 @@ void register_benches() {
     benchmark::RegisterBenchmark((std::string("BM_Average/") + k->name).c_str(),
                                  BM_Average, *k)
         ->Arg(1584);
+    benchmark::RegisterBenchmark((std::string("BM_AnalyzeMl/") + k->name).c_str(),
+                                 BM_AnalyzeMl, *k)
+        ->Arg(44)
+        ->Arg(1024);
+    benchmark::RegisterBenchmark(
+        (std::string("BM_SynthesizeMl/") + k->name).c_str(), BM_SynthesizeMl, *k)
+        ->Arg(44)
+        ->Arg(1024);
+    benchmark::RegisterBenchmark(
+        (std::string("BM_MagnitudeMl/") + k->name).c_str(), BM_MagnitudeMl, *k)
+        ->Arg(198);  // 1584 total over 8 lines
+    benchmark::RegisterBenchmark((std::string("BM_SelectMl/") + k->name).c_str(),
+                                 BM_SelectMl, *k)
+        ->Arg(198);
   }
 }
 

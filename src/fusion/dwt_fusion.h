@@ -213,6 +213,30 @@ void synthesize_line(LineFilter& f, const FilterBank& bank, const float* lo,
 
 // --- 2-D multi-level transform ----------------------------------------------
 
+// Memory layout of the 2-D passes for splittable filters:
+//
+//   kTiled  (default) — per-thread arena scratch (src/common/arena.h), run-
+//           based periodic extension (memcpy runs instead of a per-sample
+//           modulo), and a cache-blocked transpose so the column pass filters
+//           contiguous rows through the multi-line kernels (KernelSet::
+//           analyze_ml/synthesize_ml, up to simd::kMaxLinesPerCall lines per
+//           dispatch).
+//   kNaive  — the historical per-line path: stride-W column gathers into
+//           std::vector scratch, one kernel dispatch per line.
+//
+// Both layouts feed every line the same extended samples through the same
+// per-line kernel flavour and replay the same account_*/barrier() sequence,
+// so fused bits and modeled time/energy are bit-identical (locked by
+// tests/test_host_parallel.cpp); the toggle exists for the bench_pipeline
+// layout sweep and the equivalence tests. Process-wide, like
+// set_active_kernels: select at startup, before spawning parallel work.
+// Non-splittable filters (the fixed-point datapath) always run the naive
+// combined path regardless of this setting.
+enum class HostLayout { kTiled, kNaive };
+HostLayout host_layout();
+void set_host_layout(HostLayout layout);
+const char* host_layout_name(HostLayout layout);
+
 struct TransformConfig {
   int levels = 3;
   Wavelet level1 = Wavelet::kLeGall53;

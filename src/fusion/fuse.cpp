@@ -2,6 +2,8 @@
 
 #include <vector>
 
+#include "src/common/arena.h"
+
 namespace vf::fusion {
 
 namespace {
@@ -10,18 +12,23 @@ using image::ImageF;
 
 // Max-magnitude selection on one complex coefficient plane. The pair
 // (re_tree, im_tree) indexes the two trees whose coefficients are combined
-// into one complex subband (AA+jBB and AB+jBA).
+// into one complex subband (AA+jBB and AB+jBA). Magnitude scratch comes from
+// the per-thread arena: this runs once per (pair, level, subband) per frame,
+// and the deeper subbands are small enough that two vector constructions per
+// call used to rival the arithmetic.
 void select_band(const ImageF& a_re, const ImageF& a_im, const ImageF& b_re,
                  const ImageF& b_im, ImageF* out_re, ImageF* out_im,
                  dwt::LineFilter& filter) {
   const int n = static_cast<int>(a_re.size());
-  std::vector<float> mag_a(n), mag_b(n);
-  filter.magnitude(a_re.data(), a_im.data(), n, mag_a.data());
-  filter.magnitude(b_re.data(), b_im.data(), n, mag_b.data());
+  ArenaScope scratch;
+  float* mag_a = scratch.alloc(n);
+  float* mag_b = scratch.alloc(n);
+  filter.magnitude(a_re.data(), a_im.data(), n, mag_a);
+  filter.magnitude(b_re.data(), b_im.data(), n, mag_b);
   *out_re = ImageF(a_re.rows(), a_re.cols());
   *out_im = ImageF(a_im.rows(), a_im.cols());
-  filter.select(a_re.data(), a_im.data(), b_re.data(), b_im.data(), mag_a.data(),
-                mag_b.data(), n, out_re->data(), out_im->data());
+  filter.select(a_re.data(), a_im.data(), b_re.data(), b_im.data(), mag_a,
+                mag_b, n, out_re->data(), out_im->data());
 }
 
 void average_into(const ImageF& a, const ImageF& b, ImageF* out,

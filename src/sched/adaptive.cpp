@@ -217,12 +217,6 @@ FpgaBackend::FpgaBackend(const RunConfig& config)
       accel_(config.engine, config.driver_costs),
       filter_(std::make_unique<Filter>(this, &accel_)) {}
 
-FpgaBackend::FpgaBackend(const hw::WaveletEngineConfig& engine,
-                         const driver::DriverCosts& costs, const HostConfig& host)
-    : TransformBackend(host),
-      accel_(engine, costs),
-      filter_(std::make_unique<Filter>(this, &accel_)) {}
-
 FpgaBackend::~FpgaBackend() = default;
 
 dwt::LineFilter& FpgaBackend::line_filter() { return *filter_; }
@@ -286,12 +280,6 @@ AdaptiveBackend::AdaptiveBackend(const RunConfig& config)
     : TransformBackend(config.host),
       accel_(config.engine, config.driver_costs),
       router_(config.adaptive_threshold_samples),
-      filter_(std::make_unique<Filter>(this, &accel_, &router_)) {}
-
-AdaptiveBackend::AdaptiveBackend(const Options& options)
-    : TransformBackend(options.host),
-      accel_(options.engine, options.driver_costs),
-      router_(options.threshold_samples),
       filter_(std::make_unique<Filter>(this, &accel_, &router_)) {}
 
 AdaptiveBackend::~AdaptiveBackend() = default;

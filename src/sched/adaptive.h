@@ -168,9 +168,6 @@ class ArmBackend : public TransformBackend {
   ArmBackend() : ArmBackend(RunConfig{}) {}
   explicit ArmBackend(const RunConfig& config)
       : TransformBackend(config.host), filter_(this, arm_cost_model()) {}
-  [[deprecated("construct via sched::RunConfig / make_backend")]]  //
-  explicit ArmBackend(const HostConfig& host)
-      : TransformBackend(host), filter_(this, arm_cost_model()) {}
   const char* name() const override { return "ARM"; }
   power::ComputeMode compute_mode() const override {
     return power::ComputeMode::kArmOnly;
@@ -186,9 +183,6 @@ class NeonBackend : public TransformBackend {
   NeonBackend() : NeonBackend(RunConfig{}) {}
   explicit NeonBackend(const RunConfig& config)
       : TransformBackend(config.host), filter_(this, neon_cost_model()) {}
-  [[deprecated("construct via sched::RunConfig / make_backend")]]  //
-  explicit NeonBackend(const HostConfig& host)
-      : TransformBackend(host), filter_(this, neon_cost_model()) {}
   const char* name() const override { return "NEON"; }
   power::ComputeMode compute_mode() const override {
     return power::ComputeMode::kArmNeon;
@@ -203,10 +197,6 @@ class FpgaBackend : public TransformBackend {
  public:
   FpgaBackend() : FpgaBackend(RunConfig{}) {}
   explicit FpgaBackend(const RunConfig& config);
-  [[deprecated("construct via sched::RunConfig / make_backend")]]  //
-  explicit FpgaBackend(const hw::WaveletEngineConfig& engine,
-                       const driver::DriverCosts& costs = {},
-                       const HostConfig& host = {});
   ~FpgaBackend() override;
   const char* name() const override { return "FPGA"; }
   power::ComputeMode compute_mode() const override {
@@ -247,20 +237,8 @@ class LineRouter {
 
 class AdaptiveBackend : public TransformBackend {
  public:
-  // Pre-RunConfig option bag, kept only for the deprecated shim below.
-  struct Options {
-    // Calibrated crossover: lines at least this long go to the FPGA engine,
-    // shorter ones stay on NEON (see calibrate.h).
-    int threshold_samples = hw::cost::kAdaptiveThresholdSamples;
-    hw::WaveletEngineConfig engine;
-    driver::DriverCosts driver_costs;
-    HostConfig host;
-  };
-
   AdaptiveBackend() : AdaptiveBackend(RunConfig{}) {}
   explicit AdaptiveBackend(const RunConfig& config);
-  [[deprecated("construct via sched::RunConfig / make_backend")]]  //
-  explicit AdaptiveBackend(const Options& options);
   ~AdaptiveBackend() override;
 
   const char* name() const override { return "Adaptive"; }

@@ -1,6 +1,6 @@
 // make_backend(): the one construction path for transform backends (PR 7
-// API redesign). Everything outside the deprecated shims — benches, tests,
-// calibrate, the fleet scheduler — builds backends through here.
+// API redesign). Everything — benches, tests, calibrate, the fleet
+// scheduler — builds backends through here.
 #include <cstdio>
 #include <cstdlib>
 

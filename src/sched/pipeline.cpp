@@ -65,15 +65,6 @@ BatchedFpgaBackend::BatchedFpgaBackend(const RunConfig& config)
              ps_, dma_, pl_),
       filter_(std::make_unique<Filter>(this, &accel_)) {}
 
-BatchedFpgaBackend::BatchedFpgaBackend(const Options& options)
-    : TransformBackend(options.host),
-      ps_(timeline_.add_resource("PS core")),
-      dma_(timeline_.add_resource("ACP DMA")),
-      pl_(timeline_.add_resource("PL engine")),
-      accel_(options.engine, options.driver_costs, options.batching, &timeline_,
-             ps_, dma_, pl_),
-      filter_(std::make_unique<Filter>(this, &accel_)) {}
-
 BatchedFpgaBackend::~BatchedFpgaBackend() = default;
 
 dwt::LineFilter& BatchedFpgaBackend::line_filter() { return *filter_; }

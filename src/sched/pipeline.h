@@ -40,18 +40,8 @@ namespace vf::sched {
 // frame_times().total() is the PS-visible end-to-end time, overlap included.
 class BatchedFpgaBackend : public TransformBackend {
  public:
-  // Pre-RunConfig option bag, kept only for the deprecated shim below.
-  struct Options {
-    hw::WaveletEngineConfig engine;
-    driver::DriverCosts driver_costs;
-    driver::PipelinedWaveletAccelerator::Batching batching;
-    HostConfig host;
-  };
-
   BatchedFpgaBackend() : BatchedFpgaBackend(RunConfig{}) {}
   explicit BatchedFpgaBackend(const RunConfig& config);
-  [[deprecated("construct via sched::RunConfig / make_backend")]]  //
-  explicit BatchedFpgaBackend(const Options& options);
   ~BatchedFpgaBackend() override;
 
   const char* name() const override { return "FPGA+batch"; }

@@ -6,7 +6,7 @@
 // engine with this host config" inexpressible the moment the fleet scheduler
 // needed it. RunConfig is the one bag of knobs every backend understands,
 // and make_backend() is the only construction path the rest of the tree
-// uses; the old signatures survive for exactly one PR as deprecated shims.
+// uses (the pre-PR-7 per-backend signatures are gone).
 #pragma once
 
 #include <memory>

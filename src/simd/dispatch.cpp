@@ -12,6 +12,10 @@ const KernelSet& scalar_kernels() {
       complex_magnitude_scalar,
       select_by_magnitude_scalar,
       average_scalar,
+      dual_corr_decimate2_ml_scalar,
+      dual_corr_decimate2_ileave_ml_scalar,
+      complex_magnitude_ml_scalar,
+      select_by_magnitude_ml_scalar,
   };
   return set;
 }
@@ -24,6 +28,10 @@ const KernelSet& simd_kernels() {
       complex_magnitude_simd,
       select_by_magnitude_simd,
       average_simd,
+      dual_corr_decimate2_ml_simd,
+      dual_corr_decimate2_ileave_ml_simd,
+      complex_magnitude_ml_simd,
+      select_by_magnitude_ml_simd,
   };
   return set;
 }
@@ -36,6 +44,10 @@ const KernelSet& autovec_kernels() {
       complex_magnitude_autovec,
       select_by_magnitude_autovec,
       average_autovec,
+      dual_corr_decimate2_ml_autovec,
+      dual_corr_decimate2_ileave_ml_autovec,
+      complex_magnitude_ml_autovec,
+      select_by_magnitude_ml_autovec,
   };
   return set;
 }

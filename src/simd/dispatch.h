@@ -30,6 +30,22 @@ struct KernelSet {
                  const float* b_im, const float* mag_a, const float* mag_b, int n,
                  float* out_re, float* out_im);
   void (*average)(const float* a, const float* b, int n, float* out);
+  // Multi-line forms (kernels.h): per line they run the exact single-line
+  // flavour above, so they inherit its bit-identity/1-ulp contract; the
+  // tiled DT-CWT host path (dwt_fusion.cpp) feeds them blocks of up to
+  // kMaxLinesPerCall lines.
+  void (*analyze_ml)(const float* x, int x_stride, int nlines, int out_len,
+                     const float* lp, const float* hp, int taps, float* lo,
+                     float* hi, int out_stride);
+  void (*synthesize_ml)(const float* x, int x_stride, int nlines, int pairs,
+                        const float* ca, const float* cb, int taps, float* out,
+                        int out_stride);
+  void (*magnitude_ml)(const float* re, const float* im, int nlines, int len,
+                       int in_stride, float* mag, int out_stride);
+  void (*select_ml)(const float* a_re, const float* a_im, const float* b_re,
+                    const float* b_im, const float* mag_a, const float* mag_b,
+                    int nlines, int len, int in_stride, float* out_re,
+                    float* out_im, int out_stride);
 };
 
 const KernelSet& scalar_kernels();

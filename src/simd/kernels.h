@@ -76,4 +76,73 @@ void average_scalar(const float* a, const float* b, int n, float* out);
 void average_simd(const float* a, const float* b, int n, float* out);
 void average_autovec(const float* a, const float* b, int n, float* out);
 
+// --- multi-line variants -----------------------------------------------------
+//
+// Process `nlines` independent lines per call: line l reads its (extended)
+// inputs at base + l*stride and writes outputs at base + l*out_stride. Per
+// line the arithmetic order is EXACTLY the single-line flavour's (the scalar
+// _ml variant calls the scalar kernel per line, the simd one the simd kernel,
+// ...), so batching lines never moves an output bit and every flavour-parity
+// guarantee above carries over line by line. What a multi-line call buys is
+// host throughput: one dispatch-table indirection per 4-8 lines instead of
+// per line, scratch sizing amortized across the batch, and a contiguous walk
+// over a block of lines the caller laid out back-to-back (the cache-blocked
+// transpose in dwt_fusion.cpp produces exactly that layout for column
+// filtering). kMaxLinesPerCall bounds the batch so a block of extended
+// lines stays inside L1.
+inline constexpr int kMaxLinesPerCall = 8;
+
+void dual_corr_decimate2_ml_scalar(const float* x, int x_stride, int nlines,
+                                   int out_len, const float* lp, const float* hp,
+                                   int taps, float* lo, float* hi, int out_stride);
+void dual_corr_decimate2_ml_simd(const float* x, int x_stride, int nlines,
+                                 int out_len, const float* lp, const float* hp,
+                                 int taps, float* lo, float* hi, int out_stride);
+void dual_corr_decimate2_ml_autovec(const float* x, int x_stride, int nlines,
+                                    int out_len, const float* lp, const float* hp,
+                                    int taps, float* lo, float* hi, int out_stride);
+
+void dual_corr_decimate2_ileave_ml_scalar(const float* x, int x_stride, int nlines,
+                                          int pairs, const float* ca, const float* cb,
+                                          int taps, float* out, int out_stride);
+void dual_corr_decimate2_ileave_ml_simd(const float* x, int x_stride, int nlines,
+                                        int pairs, const float* ca, const float* cb,
+                                        int taps, float* out, int out_stride);
+void dual_corr_decimate2_ileave_ml_autovec(const float* x, int x_stride, int nlines,
+                                           int pairs, const float* ca, const float* cb,
+                                           int taps, float* out, int out_stride);
+
+void complex_magnitude_ml_scalar(const float* re, const float* im, int nlines,
+                                 int len, int in_stride, float* mag, int out_stride);
+void complex_magnitude_ml_simd(const float* re, const float* im, int nlines,
+                               int len, int in_stride, float* mag, int out_stride);
+void complex_magnitude_ml_autovec(const float* re, const float* im, int nlines,
+                                  int len, int in_stride, float* mag, int out_stride);
+
+void select_by_magnitude_ml_scalar(const float* a_re, const float* a_im,
+                                   const float* b_re, const float* b_im,
+                                   const float* mag_a, const float* mag_b,
+                                   int nlines, int len, int in_stride,
+                                   float* out_re, float* out_im, int out_stride);
+void select_by_magnitude_ml_simd(const float* a_re, const float* a_im,
+                                 const float* b_re, const float* b_im,
+                                 const float* mag_a, const float* mag_b,
+                                 int nlines, int len, int in_stride,
+                                 float* out_re, float* out_im, int out_stride);
+void select_by_magnitude_ml_autovec(const float* a_re, const float* a_im,
+                                    const float* b_re, const float* b_im,
+                                    const float* mag_a, const float* mag_b,
+                                    int nlines, int len, int in_stride,
+                                    float* out_re, float* out_im, int out_stride);
+
+// --- cache-blocked transpose -------------------------------------------------
+//
+// dst (cols x rows, row stride dst_stride) = transpose of src (rows x cols,
+// row stride src_stride). 8x8 cache tiles with a 4x4 SIMD micro-kernel where
+// the target has one; exact data movement, so there is nothing flavour-
+// dependent to dispatch. This is what turns the DT-CWT column passes into
+// contiguous row filtering (dwt_fusion.cpp).
+void transpose_f32(const float* src, int rows, int cols, int src_stride,
+                   float* dst, int dst_stride);
+
 }  // namespace vf::simd

@@ -213,6 +213,58 @@ TEST(HostParallelIdentity, PipelinedRunInvariantAcrossThreads) {
   }
 }
 
+// --- bit-identity across host memory layouts ---------------------------------
+
+struct LayoutRestore {
+  ~LayoutRestore() { dwt::set_host_layout(dwt::HostLayout::kTiled); }
+};
+
+// The tiled path (blocked transpose + multi-line kernels) is a pure layout
+// change: per-line arithmetic order is pinned by the _ml contract, so fused
+// bits must match the naive per-line path exactly — at sizes that are all
+// tile tail (1xN), straddle the 8x8 tile edge (9x7, 33x25), and at the
+// paper's largest frame, for every pool width.
+TEST(HostLayoutIdentity, TiledMatchesNaiveFusedBits) {
+  LayoutRestore restore;
+  const sched::FrameSize sizes[] = {{9, 7}, {33, 25}, {1, 16}, {16, 1}, {88, 72}};
+  for (const sched::FrameSize& size : sizes) {
+    const auto frames = sched::make_sweep_frames(size, 1);
+    for (int n : kThreadWidths) {
+      std::uint64_t hash[2] = {0, 0};
+      for (int layout = 0; layout < 2; ++layout) {
+        dwt::set_host_layout(layout == 0 ? dwt::HostLayout::kNaive
+                                         : dwt::HostLayout::kTiled);
+        dwt::SimdLineFilter filter{HostConfig{n}};
+        hash[layout] = hash_image(
+            fusion::fuse_frames(frames[0].visible, frames[0].thermal, {}, filter));
+      }
+      EXPECT_EQ(hash[0], hash[1])
+          << size.width << "x" << size.height << " threads=" << n;
+    }
+  }
+}
+
+// Modeled outputs must not notice the layout either: both paths replay the
+// same canonical account_*()/barrier() sequence.
+TEST(HostLayoutIdentity, PipelinedRunInvariantAcrossLayouts) {
+  LayoutRestore restore;
+  const auto stream = sched::make_sweep_frames({33, 25}, 3);
+  sched::PipelineRunResult res[2];
+  for (int layout = 0; layout < 2; ++layout) {
+    dwt::set_host_layout(layout == 0 ? dwt::HostLayout::kNaive
+                                     : dwt::HostLayout::kTiled);
+    sched::RunConfig rc;
+    sched::BatchedFpgaBackend backend(rc);
+    res[layout] = sched::run_pipelined(backend, stream);
+  }
+  EXPECT_TRUE(res[0].makespan == res[1].makespan);
+  EXPECT_TRUE(res[0].serial_total == res[1].serial_total);
+  EXPECT_TRUE(res[0].ps_busy == res[1].ps_busy);
+  EXPECT_TRUE(res[0].pl_busy == res[1].pl_busy);
+  EXPECT_EQ(res[0].energy_mj, res[1].energy_mj);
+  EXPECT_EQ(res[0].energy_gated_mj, res[1].energy_gated_mj);
+}
+
 // --- bit-identity across kernel flavours -------------------------------------
 
 struct KernelSetRestore {

@@ -10,6 +10,7 @@
 #include <cmath>
 #include <cstdint>
 #include <cstring>
+#include <string>
 #include <vector>
 
 #include "src/common/rng.h"
@@ -158,6 +159,196 @@ TEST_P(KernelEquivalence, Average) {
   for (int i = 0; i < n; ++i) {
     EXPECT_FLOAT_EQ(out_s[i], 0.5f * (a[i] + b[i])) << i;
   }
+}
+
+// --- multi-line kernels ------------------------------------------------------
+//
+// The _ml contract (kernels.h): each line of a multi-line call produces the
+// same bits as one single-line call of the same flavour on that line. That
+// pins the per-line arithmetic order, so the flavour guarantees above carry
+// over unchanged: _ml_simd is 0 ulp from _ml_scalar, _ml_autovec within 1 ulp
+// (select stays bit-exact — it only copies inputs).
+
+class MultiLineEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(MultiLineEquivalence, AnalyzeMl) {
+  const int out_len = GetParam();
+  for (int nlines : {1, 3, simd::kMaxLinesPerCall}) {
+    for (int taps : {5, 14}) {
+      const int x_stride = 2 * out_len + taps + 3;  // over-stride: gaps allowed
+      const auto x = randv(nlines * x_stride, 21);
+      const auto lp = randv(taps, 22);
+      const auto hp = randv(taps, 23);
+      const int out_stride = out_len + 2;
+      const int out_total = nlines * out_stride;
+      std::vector<float> lo_ref(out_total, 0.0f), hi_ref(out_total, 0.0f);
+      for (int l = 0; l < nlines; ++l) {
+        simd::dual_corr_decimate2_scalar(x.data() + l * x_stride, out_len,
+                                         lp.data(), hp.data(), taps,
+                                         lo_ref.data() + l * out_stride,
+                                         hi_ref.data() + l * out_stride);
+      }
+      std::vector<float> lo_s(out_total, 0.0f), hi_s(out_total, 0.0f);
+      std::vector<float> lo_v(out_total, 0.0f), hi_v(out_total, 0.0f);
+      std::vector<float> lo_a(out_total, 0.0f), hi_a(out_total, 0.0f);
+      simd::dual_corr_decimate2_ml_scalar(x.data(), x_stride, nlines, out_len,
+                                          lp.data(), hp.data(), taps, lo_s.data(),
+                                          hi_s.data(), out_stride);
+      simd::dual_corr_decimate2_ml_simd(x.data(), x_stride, nlines, out_len,
+                                        lp.data(), hp.data(), taps, lo_v.data(),
+                                        hi_v.data(), out_stride);
+      simd::dual_corr_decimate2_ml_autovec(x.data(), x_stride, nlines, out_len,
+                                           lp.data(), hp.data(), taps, lo_a.data(),
+                                           hi_a.data(), out_stride);
+      expect_bit_identical(lo_ref, lo_s, "analyze_ml lo scalar vs per-line");
+      expect_bit_identical(hi_ref, hi_s, "analyze_ml hi scalar vs per-line");
+      expect_bit_identical(lo_ref, lo_v, "analyze_ml lo simd");
+      expect_bit_identical(hi_ref, hi_v, "analyze_ml hi simd");
+      expect_within_1_ulp(lo_ref, lo_a, "analyze_ml lo autovec");
+      expect_within_1_ulp(hi_ref, hi_a, "analyze_ml hi autovec");
+    }
+  }
+}
+
+TEST_P(MultiLineEquivalence, SynthesizeMl) {
+  const int pairs = GetParam();
+  for (int nlines : {1, 3, simd::kMaxLinesPerCall}) {
+    const int taps = 16;
+    const int x_stride = 2 * pairs + taps + 1;
+    const auto x = randv(nlines * x_stride, 24);
+    const auto ca = randv(taps, 25);
+    const auto cb = randv(taps, 26);
+    const int out_stride = 2 * pairs + 4;
+    const int out_total = nlines * out_stride;
+    std::vector<float> ref(out_total, 0.0f);
+    for (int l = 0; l < nlines; ++l) {
+      simd::dual_corr_decimate2_ileave_scalar(x.data() + l * x_stride, pairs,
+                                              ca.data(), cb.data(), taps,
+                                              ref.data() + l * out_stride);
+    }
+    std::vector<float> out_s(out_total, 0.0f), out_v(out_total, 0.0f),
+        out_a(out_total, 0.0f);
+    simd::dual_corr_decimate2_ileave_ml_scalar(x.data(), x_stride, nlines, pairs,
+                                               ca.data(), cb.data(), taps,
+                                               out_s.data(), out_stride);
+    simd::dual_corr_decimate2_ileave_ml_simd(x.data(), x_stride, nlines, pairs,
+                                             ca.data(), cb.data(), taps,
+                                             out_v.data(), out_stride);
+    simd::dual_corr_decimate2_ileave_ml_autovec(x.data(), x_stride, nlines, pairs,
+                                                ca.data(), cb.data(), taps,
+                                                out_a.data(), out_stride);
+    expect_bit_identical(ref, out_s, "synthesize_ml scalar vs per-line");
+    expect_bit_identical(ref, out_v, "synthesize_ml simd");
+    expect_within_1_ulp(ref, out_a, "synthesize_ml autovec");
+  }
+}
+
+TEST_P(MultiLineEquivalence, MagnitudeMl) {
+  const int len = GetParam();
+  for (int nlines : {1, 3, simd::kMaxLinesPerCall}) {
+    const int in_stride = len + 5;
+    const auto re = randv(nlines * in_stride, 27);
+    const auto im = randv(nlines * in_stride, 28);
+    const int out_stride = len + 1;
+    const int out_total = nlines * out_stride;
+    std::vector<float> ref(out_total, 0.0f);
+    for (int l = 0; l < nlines; ++l) {
+      simd::complex_magnitude_scalar(re.data() + l * in_stride,
+                                     im.data() + l * in_stride, len,
+                                     ref.data() + l * out_stride);
+    }
+    std::vector<float> mag_s(out_total, 0.0f), mag_v(out_total, 0.0f),
+        mag_a(out_total, 0.0f);
+    simd::complex_magnitude_ml_scalar(re.data(), im.data(), nlines, len, in_stride,
+                                      mag_s.data(), out_stride);
+    simd::complex_magnitude_ml_simd(re.data(), im.data(), nlines, len, in_stride,
+                                    mag_v.data(), out_stride);
+    simd::complex_magnitude_ml_autovec(re.data(), im.data(), nlines, len, in_stride,
+                                       mag_a.data(), out_stride);
+    expect_bit_identical(ref, mag_s, "magnitude_ml scalar vs per-line");
+    expect_bit_identical(ref, mag_v, "magnitude_ml simd");
+    expect_within_1_ulp(ref, mag_a, "magnitude_ml autovec");
+  }
+}
+
+TEST_P(MultiLineEquivalence, SelectMl) {
+  const int len = GetParam();
+  for (int nlines : {1, 3, simd::kMaxLinesPerCall}) {
+    const int in_stride = len + 2;
+    const int total = nlines * in_stride;
+    const auto a_re = randv(total, 29), a_im = randv(total, 30);
+    const auto b_re = randv(total, 31), b_im = randv(total, 32);
+    std::vector<float> mag_a(total, 0.0f), mag_b(total, 0.0f);
+    simd::complex_magnitude_scalar(a_re.data(), a_im.data(), total, mag_a.data());
+    simd::complex_magnitude_scalar(b_re.data(), b_im.data(), total, mag_b.data());
+    const int out_stride = len + 3;
+    const int out_total = nlines * out_stride;
+    std::vector<float> re_ref(out_total, 0.0f), im_ref(out_total, 0.0f);
+    for (int l = 0; l < nlines; ++l) {
+      simd::select_by_magnitude_scalar(
+          a_re.data() + l * in_stride, a_im.data() + l * in_stride,
+          b_re.data() + l * in_stride, b_im.data() + l * in_stride,
+          mag_a.data() + l * in_stride, mag_b.data() + l * in_stride, len,
+          re_ref.data() + l * out_stride, im_ref.data() + l * out_stride);
+    }
+    for (const auto* flavour : {"scalar", "simd", "autovec"}) {
+      std::vector<float> re(out_total, 0.0f), im(out_total, 0.0f);
+      auto fn = std::string(flavour) == "scalar" ? simd::select_by_magnitude_ml_scalar
+                : std::string(flavour) == "simd" ? simd::select_by_magnitude_ml_simd
+                                                 : simd::select_by_magnitude_ml_autovec;
+      fn(a_re.data(), a_im.data(), b_re.data(), b_im.data(), mag_a.data(),
+         mag_b.data(), nlines, len, in_stride, re.data(), im.data(), out_stride);
+      // Selection copies inputs verbatim: bit-exact in every flavour.
+      expect_bit_identical(re_ref, re, (std::string("select_ml re ") + flavour).c_str());
+      expect_bit_identical(im_ref, im, (std::string("select_ml im ") + flavour).c_str());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MultiLineEquivalence,
+                         ::testing::Values(1, 7, 44, 198));
+
+// --- blocked transpose -------------------------------------------------------
+//
+// transpose_f32 copies bits, so every shape — including ones that are all
+// tail (1xN, Nx1) or straddle the 8x8 tile edge — must match the naive
+// element-by-element transpose exactly.
+TEST(TransposeF32, MatchesNaiveAtAwkwardShapes) {
+  struct Shape { int rows, cols; };
+  for (Shape s : {Shape{1, 1}, Shape{1, 17}, Shape{17, 1}, Shape{7, 9},
+                  Shape{8, 8}, Shape{9, 7}, Shape{16, 16}, Shape{33, 25},
+                  Shape{25, 33}, Shape{88, 72}}) {
+    const int src_stride = s.cols + 3;  // strides larger than the row length
+    const int dst_stride = s.rows + 2;
+    const auto src = randv(s.rows * src_stride, 100 + s.rows);
+    std::vector<float> dst(static_cast<std::size_t>(s.cols) * dst_stride, -7.0f);
+    simd::transpose_f32(src.data(), s.rows, s.cols, src_stride, dst.data(),
+                        dst_stride);
+    for (int r = 0; r < s.rows; ++r) {
+      for (int c = 0; c < s.cols; ++c) {
+        ASSERT_EQ(float_bits(src[r * src_stride + c]),
+                  float_bits(dst[c * dst_stride + r]))
+            << s.rows << "x" << s.cols << " r=" << r << " c=" << c;
+      }
+    }
+    // Padding between destination rows must be untouched.
+    for (int c = 0; c < s.cols; ++c) {
+      for (int p = s.rows; p < dst_stride; ++p) {
+        ASSERT_EQ(dst[c * dst_stride + p], -7.0f);
+      }
+    }
+  }
+}
+
+// Round trip: transposing twice restores the source bit-for-bit.
+TEST(TransposeF32, RoundTrip) {
+  const int rows = 29, cols = 43;
+  const auto src = randv(rows * cols, 55);
+  std::vector<float> t(static_cast<std::size_t>(cols) * rows);
+  std::vector<float> back(static_cast<std::size_t>(rows) * cols);
+  simd::transpose_f32(src.data(), rows, cols, cols, t.data(), rows);
+  simd::transpose_f32(t.data(), cols, rows, rows, back.data(), cols);
+  expect_bit_identical(src, back, "transpose round trip");
 }
 
 // Signed zeros: the old arithmetic blend (a*t + b*(1-t)) lost -0.0; exact
