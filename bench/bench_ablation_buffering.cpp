@@ -14,6 +14,7 @@ int main(int argc, char** argv) {
   using namespace vf::bench;
 
   const BenchOptions options = parse_bench_options(argc, argv);
+  json::Value jrun = json_run_header("bench_ablation_buffering", options);
 
   print_header("Ablation A2 — double buffering (Fig. 5) on vs off",
                "§V / Fig. 5: overlap of user-space transfer and PL processing");
@@ -21,6 +22,7 @@ int main(int argc, char** argv) {
   TextTable table({"frame size", "single buf (s)", "double buf (s)", "saved", "PS stall single",
                    "PS stall double"});
   const sched::RunConfig base = bench_run_config(options);
+  json::Value jsizes = json::Value::array();
   for (const sched::FrameSize& size : sched::paper_frame_sizes()) {
     sched::RunConfig single = base;
     single.driver_costs.double_buffering = false;
@@ -39,9 +41,16 @@ int main(int argc, char** argv) {
                    TextTable::num(rd.total.sec(), 3),
                    TextTable::num(100.0 * (1.0 - rd.total.sec() / rs.total.sec()), 1) + "%",
                    stall_s.to_string(), stall_d.to_string()});
+    jsizes.push(json::Value::object()
+                    .set("size", size.label())
+                    .set("single_buffer_s", rs.total.sec())
+                    .set("double_buffer_s", rd.total.sec())
+                    .set("stall_single_s", stall_s.sec())
+                    .set("stall_double_s", stall_d.sec()));
   }
+  jrun.set("sizes", std::move(jsizes));
   std::printf("%s\n", table.to_string().c_str());
   std::printf("double buffering hides the engine's processing time behind the next\n"
               "line's input copy; the benefit grows with line length (PL busy time).\n");
-  return 0;
+  return write_json_report(options, jrun);
 }

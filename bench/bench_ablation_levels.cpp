@@ -14,6 +14,7 @@ int main(int argc, char** argv) {
   using namespace vf::bench;
 
   const BenchOptions options = parse_bench_options(argc, argv);
+  json::Value jrun = json_run_header("bench_ablation_levels", options);
 
   print_header("Ablation A8 — DT-CWT decomposition level sweep at 88x72",
                "§VII: \"the decomposition level of the CT-DWT was varied\"");
@@ -21,6 +22,7 @@ int main(int argc, char** argv) {
   TextTable table({"levels", "ARM (s)", "NEON (s)", "FPGA (s)", "Adaptive (s)",
                    "FPGA vs NEON", "adaptive lines FPGA/NEON"});
   const sched::RunConfig base = bench_run_config(options);
+  json::Value jlevels = json::Value::array();
   for (int levels = 1; levels <= 4; ++levels) {
     sched::RunConfig run = base;
     run.fuse.transform.levels = levels;
@@ -41,11 +43,22 @@ int main(int argc, char** argv) {
                    TextTable::num(100.0 * (1.0 - rf.total.sec() / rn.total.sec()), 1) + "%",
                    std::to_string(adaptive.router().lines_on_fpga()) + "/" +
                        std::to_string(adaptive.router().lines_on_simd())});
+    jlevels.push(json::Value::object()
+                     .set("levels", levels)
+                     .set("arm_s", ra.total.sec())
+                     .set("neon_s", rn.total.sec())
+                     .set("fpga_s", rf.total.sec())
+                     .set("adaptive_s", rx.total.sec())
+                     .set("lines_fpga",
+                          static_cast<double>(adaptive.router().lines_on_fpga()))
+                     .set("lines_neon",
+                          static_cast<double>(adaptive.router().lines_on_simd())));
   }
+  jrun.set("level_sweep", std::move(jlevels));
   std::printf("%s\n", table.to_string().c_str());
   std::printf("each extra level adds ~25%% of the previous level's samples but a\n"
               "disproportionate number of short lines; the FPGA's advantage over\n"
               "NEON narrows with depth and the adaptive router responds by keeping\n"
               "every line shorter than its threshold on the SIMD engine.\n");
-  return 0;
+  return write_json_report(options, jrun);
 }

@@ -163,6 +163,56 @@ int main(int argc, char** argv) {
   std::printf("%s\n", grid.to_string().c_str());
   std::printf("small frames fit the PL budget even on one engine; at 88x72 the\n"
               "fleet needs the extra fixed-point engine instances (or the NEON\n"
-              "spill) to keep four cameras under their frame budgets.\n");
+              "spill) to keep four cameras under their frame budgets.\n\n");
+
+  // --- 3: cross-frame streaming vs the stage-granular fleet ------------------
+  // Same stream mix, engine slots routed through the streaming replay
+  // (ISSUE 9): a slot switching streams keeps its ping-pong buffer state
+  // instead of draining, and sg=8 descriptor chains amortize the driver
+  // entry — so the PS cores stop being the bottleneck at saturation.
+  constexpr int kStreamingChain = 8;
+  std::printf("[3] cross-frame streaming at 88x72, 2 engines (sg chain %d)\n\n",
+              kStreamingChain);
+  TextTable stream_tbl({"streams", "schedule", "makespan (s)", "dropped",
+                        "spilled", "p99 (ms)", "mJ/frame"});
+  json::Value jstreaming = json::Value::array();
+  for (const int count : stream_counts) {
+    for (const bool cross_frame : {false, true}) {
+      sched::RunConfig cfg = base;
+      cfg.cross_frame = cross_frame;
+      cfg.batching.sg_chain_len = cross_frame ? kStreamingChain : 1;
+      sched::FleetConfig fleet = fleet_config(2);
+      fleet.cross_frame = cross_frame;
+      const sched::FleetResult r =
+          sched::run_fleet(make_streams(count, {88, 72}, cfg), fleet);
+      SimDuration p99;
+      int spilled = 0;
+      for (const sched::StreamStats& s : r.streams) {
+        if (s.p99_latency > p99) p99 = s.p99_latency;
+        spilled += s.spilled;
+      }
+      stream_tbl.add_row({std::to_string(count),
+                          cross_frame ? "streaming" : "legacy",
+                          TextTable::num(r.makespan.sec(), 3),
+                          std::to_string(r.dropped), std::to_string(spilled),
+                          TextTable::num(p99.ms(), 1),
+                          TextTable::num(r.energy_per_frame_mj(), 2)});
+      jstreaming.push(json::Value::object()
+                          .set("streams", count)
+                          .set("mode", cross_frame ? "streaming" : "legacy")
+                          .set("makespan_s", r.makespan.sec())
+                          .set("dropped", r.dropped)
+                          .set("spilled", spilled)
+                          .set("p99_latency_s", p99.sec())
+                          .set("energy_mj", r.energy_mj)
+                          .set("energy_per_frame_mj", r.energy_per_frame_mj()));
+    }
+  }
+  jrun.set("streaming", std::move(jstreaming));
+  std::printf("%s\n", stream_tbl.to_string().c_str());
+  std::printf("the streaming rows model per-batch PS occupancy explicitly, so\n"
+              "they are honest about driver pressure: the descriptor chain is\n"
+              "what keeps p99 and drops at or below the stage-granular rows\n"
+              "once several cameras share the two A9 cores.\n");
   return write_json_report(options, jrun);
 }

@@ -1,0 +1,184 @@
+// Host memory-bandwidth microbenchmark (STREAM / RandomAccess style).
+//
+// Everything else in the bench suite reports *modeled* ZC702 time; the cost
+// constants behind that model (the GP port's ~25 PS cycles/word, the ACP
+// DMA's burst shape in src/hw/axi.h) were calibrated against the paper's
+// figures, not against this machine. This bench is the sanity anchor: it
+// measures what the build host actually sustains on the four STREAM kernels
+// (copy/scale/add/triad) plus a RandomAccess-style gather, and prints the
+// modeled GP/ACP bandwidth curves next to them. If the modeled AXI numbers
+// ever drift into implausibility relative to real memory systems (orders of
+// magnitude, not percent), this is where it shows (DESIGN.md §3 note).
+//
+// JSON contract: every host measurement lives under a "wall_*" key so the
+// drift checker (tools/check_bench_baseline.py) skips it; the modeled AXI
+// section and the deterministic checksum are locked like any other modeled
+// output.
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/rng.h"
+#include "src/hw/axi.h"
+#include "src/hw/clock.h"
+
+namespace {
+
+using namespace vf;
+using namespace vf::bench;
+
+double wall_seconds(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+// Best-of-`reps` wall time for one kernel pass (STREAM methodology: the
+// best run reflects the memory system, the rest reflect noise).
+template <typename Fn>
+double best_of(int reps, Fn&& fn) {
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    const double t = wall_seconds(fn);
+    if (r == 0 || t < best) best = t;
+  }
+  return best;
+}
+
+struct KernelResult {
+  const char* name;
+  double gib_s = 0.0;     // bytes touched / best wall time
+  double wall_s = 0.0;    // best single-pass time
+  double bytes = 0.0;     // bytes touched per pass
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchOptions options = parse_bench_options(argc, argv);
+  note_frames_unused(options, "memory kernels have no frame stream");
+
+  print_header("Host memory bandwidth — STREAM kernels + random gather",
+               "sanity anchor for the modeled AXI constants (src/hw/axi.h)");
+
+  json::Value jrun = json_run_header("bench_membw", options);
+
+  // --- 1: STREAM kernels at several working-set sizes -------------------------
+  // 32 KiB sits in L1, 256 KiB in L2, 2 MiB around LLC, 16 MiB in DRAM on
+  // typical hosts — the curve's knees are the point of the sweep.
+  std::printf("[1] STREAM kernels, best-of-5, GiB/s by working set\n\n");
+  const std::size_t kWorkingSets[] = {32u << 10, 256u << 10, 2u << 20, 16u << 20};
+  constexpr int kReps = 5;
+  constexpr float kScalar = 3.0f;
+  TextTable tbl({"working set", "copy", "scale", "add", "triad", "gather"});
+  json::Value jsets = json::Value::array();
+  double checksum = 0.0;  // deterministic: locks the kernel arithmetic
+  for (const std::size_t bytes : kWorkingSets) {
+    // Three arrays of n floats sized so ONE array is `bytes` big, matching
+    // how STREAM reports its working set per array.
+    const std::size_t n = bytes / sizeof(float);
+    std::vector<float> a(n), b(n), c(n);
+    Rng rng(0xbead5ull + bytes);
+    for (std::size_t i = 0; i < n; ++i) {
+      a[i] = rng.next_float(0.0f, 1.0f);
+      b[i] = rng.next_float(0.0f, 1.0f);
+      c[i] = 0.0f;
+    }
+    // RandomAccess-style index stream: uniform, fixed seed, built once so
+    // the gather pass measures the gather, not the index generation.
+    std::vector<std::uint32_t> idx(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      idx[i] = static_cast<std::uint32_t>(rng.next_u64() % n);
+    }
+
+    KernelResult results[] = {
+        {"copy", 0.0, 0.0, 2.0 * static_cast<double>(bytes)},
+        {"scale", 0.0, 0.0, 2.0 * static_cast<double>(bytes)},
+        {"add", 0.0, 0.0, 3.0 * static_cast<double>(bytes)},
+        {"triad", 0.0, 0.0, 3.0 * static_cast<double>(bytes)},
+        {"gather", 0.0, 0.0,
+         2.0 * static_cast<double>(bytes) +
+             static_cast<double>(n * sizeof(std::uint32_t))},
+    };
+    results[0].wall_s = best_of(kReps, [&] {
+      std::memcpy(c.data(), a.data(), n * sizeof(float));
+    });
+    results[1].wall_s = best_of(kReps, [&] {
+      for (std::size_t i = 0; i < n; ++i) b[i] = kScalar * c[i];
+    });
+    results[2].wall_s = best_of(kReps, [&] {
+      for (std::size_t i = 0; i < n; ++i) c[i] = a[i] + b[i];
+    });
+    results[3].wall_s = best_of(kReps, [&] {
+      for (std::size_t i = 0; i < n; ++i) a[i] = b[i] + kScalar * c[i];
+    });
+    results[4].wall_s = best_of(kReps, [&] {
+      for (std::size_t i = 0; i < n; ++i) c[i] = a[idx[i]];
+    });
+
+    std::vector<std::string> row;
+    if (bytes >= (1u << 20)) {
+      row.push_back(std::to_string(bytes >> 20) + " MiB");
+    } else {
+      row.push_back(std::to_string(bytes >> 10) + " KiB");
+    }
+    json::Value jset = json::Value::object();
+    jset.set("working_set_bytes", static_cast<double>(bytes));
+    for (KernelResult& k : results) {
+      k.gib_s = k.wall_s > 0.0 ? k.bytes / k.wall_s / (1024.0 * 1024.0 * 1024.0)
+                               : 0.0;
+      row.push_back(TextTable::num(k.gib_s, 2));
+      jset.set(std::string("wall_s_") + k.name, k.wall_s);
+      jset.set(std::string("wall_gib_s_") + k.name, k.gib_s);
+    }
+    tbl.add_row(row);
+    jsets.push(std::move(jset));
+    // The checksum folds in values every kernel wrote; bitwise-stable
+    // because the passes above always run, whatever their wall time.
+    checksum += static_cast<double>(a[n / 2]) + b[n / 3] + c[n / 5];
+  }
+  jrun.set("working_sets", std::move(jsets));
+  jrun.set("checksum", checksum);
+  std::printf("%s\n", tbl.to_string().c_str());
+  std::printf("copy/scale move 2 arrays per element, add/triad 3; gather's\n"
+              "random reads defeat the prefetcher, so its DRAM-sized row is\n"
+              "the latency-bound floor. checksum %.6f locks the arithmetic.\n\n",
+              checksum);
+
+  // --- 2: modeled AXI bandwidth next to the host curve ------------------------
+  // The same words-to-cycles models the driver charges (src/hw/axi.h),
+  // expressed as MiB/s so they sit in the same units as section 1. These
+  // rows are locked by the drift baseline: they change only when someone
+  // recalibrates the AXI constants deliberately.
+  std::printf("[2] modeled PS<->PL paths (axi.h constants, locked)\n\n");
+  TextTable axi({"transfer", "GP port (MiB/s)", "ACP DMA (MiB/s)"});
+  json::Value jaxi = json::Value::array();
+  for (const int words : {16, 64, 256, 1024, 2048}) {
+    const double bytes = static_cast<double>(words) * 4.0;
+    const double gp_s =
+        hw::ps_clock().cycles(hw::GpPortModel{}.cycles_for_words(words)).sec();
+    const double acp_s =
+        hw::pl_clock().cycles(hw::AcpDmaModel{}.cycles_for_words(words)).sec();
+    const double gp_mib = bytes / gp_s / (1024.0 * 1024.0);
+    const double acp_mib = bytes / acp_s / (1024.0 * 1024.0);
+    axi.add_row({std::to_string(words) + " words", TextTable::num(gp_mib, 1),
+                 TextTable::num(acp_mib, 1)});
+    jaxi.push(json::Value::object()
+                  .set("words", words)
+                  .set("gp_mib_s", gp_mib)
+                  .set("acp_mib_s", acp_mib));
+  }
+  jrun.set("modeled_axi", std::move(jaxi));
+  std::printf("%s\n", axi.to_string().c_str());
+  std::printf("the GP port tops out near %.0f MiB/s (25 PS cycles/word at 533\n"
+              "MHz); the ACP DMA approaches 64-bit beats at the 100 MHz PL\n"
+              "clock once bursts amortize setup. Both sit orders of magnitude\n"
+              "under the host rows above — as a 2012 embedded part should —\n"
+              "which is the plausibility check this bench exists for.\n",
+              533e6 * 4.0 / 25.0 / (1024.0 * 1024.0));
+
+  return write_json_report(options, jrun);
+}

@@ -39,12 +39,19 @@ inline constexpr int kPaperFrameCount = 10;  // "10 input frames were decomposed
 //                  hardware threads; modeled time is bit-identical at any N)
 //   --kernels K    kernel flavour: scalar | simd (default) | autovec
 //   --json PATH    also write the bench's results as JSON
+//   --cross-frame  cross-frame line streaming where the bench supports it
+//                  (run_pipelined/run_fleet batched-FPGA paths; ignored
+//                  otherwise — modeled outputs stay legacy without it)
+//   --sg-chain N   scatter-gather descriptor chain length (default 1 = flat
+//                  per-batch driver entries, the legacy schedule)
 struct BenchOptions {
   int frames = kPaperFrameCount;
   bool pipeline = false;
   int threads = 0;  // 0 = hardware_concurrency
   std::string kernels;
   std::string json_path;
+  bool cross_frame = false;
+  int sg_chain_len = 1;
 };
 
 inline BenchOptions parse_bench_options(int argc, char** argv) {
@@ -75,10 +82,20 @@ inline BenchOptions parse_bench_options(int argc, char** argv) {
       }
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       options.json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--cross-frame") == 0) {
+      options.cross_frame = true;
+    } else if (std::strcmp(argv[i], "--sg-chain") == 0 && i + 1 < argc) {
+      options.sg_chain_len = std::atoi(argv[++i]);
+      if (options.sg_chain_len < 1) {
+        std::fprintf(stderr, "--sg-chain wants a positive length, got '%s'\n",
+                     argv[i]);
+        std::exit(2);
+      }
     } else {
       std::fprintf(stderr,
                    "unknown argument '%s' (supported: --frames N, --pipeline, "
-                   "--threads N, --kernels scalar|simd|autovec, --json PATH)\n",
+                   "--threads N, --kernels scalar|simd|autovec, --json PATH, "
+                   "--cross-frame, --sg-chain N)\n",
                    argv[i]);
       std::exit(2);
     }
@@ -139,6 +156,8 @@ inline sched::RunConfig bench_run_config(const BenchOptions& options) {
   config.frames = options.frames;
   config.host.threads = host::default_threads();
   config.kernels = options.kernels;
+  config.cross_frame = options.cross_frame;
+  config.batching.sg_chain_len = options.sg_chain_len;
   return config;
 }
 

@@ -31,6 +31,30 @@ inline constexpr double kExpectedPollsPerCall = 3.0;
 // Sleep + IRQ + wake path when the driver uses interrupt completion.
 inline constexpr double kIrqLatencyPsCycles = 5200;
 
+// --- scatter-gather descriptor chain (streaming driver, ISSUE 9) ------------
+
+// One ioctl arms a bd-ring of up to Batching::sg_chain_len descriptors;
+// batches after the chain head pay only these two charges instead of the
+// full kDriverCallPsCycles entry:
+//
+//   build: the PS appends one descriptor to the already-armed ring
+//          (fill the bd, flush the cache line, bump the tail pointer) —
+//          user-space writes, no kernel entry.
+//   fetch: the DMA engine reads the next descriptor from memory before it
+//          can start the batch's input burst (PL cycles on the DMA channel).
+//
+// With sg_chain_len = 1 every batch is a chain head and the schedule is
+// bit-identical to the flat per-batch driver entry (locked by the PR 5
+// regression tests), so the default path cannot drift.
+inline constexpr double kSgDescBuildPsCycles = 360;
+inline constexpr double kSgDescFetchPlCycles = 48;
+
+// Preemption granularity of the streaming replay: PS work longer than this
+// is sliced so the interrupt-driven driver can interleave descriptor
+// appends (keeping the PL fed) with application work like frame prep.
+// ~31 us at 533 MHz — a few batch services per slice.
+inline constexpr double kStreamPsSliceCycles = 16384;
+
 // --- PL wavelet engine ------------------------------------------------------
 
 // The float engine retires one output pair every two PL cycles after a

@@ -25,6 +25,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <vector>
 
 #include "src/common/sim_time.h"
 #include "src/common/timeline.h"
@@ -52,6 +53,13 @@ struct DriverCosts {
   double expected_polls = hw::cost::kExpectedPollsPerCall;
   // Sleep + IRQ + wake path when completion = kInterrupt.
   double irq_latency_ps_cycles = hw::cost::kIrqLatencyPsCycles;
+
+  // Scatter-gather chain costs (ISSUE 9): a batch that continues an armed
+  // descriptor chain pays a PS-side descriptor append instead of the full
+  // driver entry, plus a DMA-side descriptor fetch before its input burst.
+  // Only consulted when Batching::sg_chain_len > 1.
+  double sg_desc_build_ps_cycles = hw::cost::kSgDescBuildPsCycles;
+  double sg_desc_fetch_pl_cycles = hw::cost::kSgDescFetchPlCycles;
 };
 
 // The four cost components of servicing line requests, kept separate so the
@@ -83,6 +91,17 @@ inline SimDuration driver_call_time(const DriverCosts& costs) {
     t += hw::ps_clock().cycles(costs.irq_latency_ps_cycles);
   }
   return t;
+}
+
+// PS time to append one descriptor to an already-armed scatter-gather ring
+// (user-space bd fill + tail-pointer bump — no kernel entry).
+inline SimDuration sg_desc_build_time(const DriverCosts& costs) {
+  return hw::ps_clock().cycles(costs.sg_desc_build_ps_cycles);
+}
+
+// DMA-side time to fetch the next chained descriptor before its burst.
+inline SimDuration sg_desc_fetch_time(const DriverCosts& costs) {
+  return hw::pl_clock().cycles(costs.sg_desc_fetch_pl_cycles);
 }
 
 // Time to move `words` over the configured PS<->PL path: ACP DMA bursts at
@@ -188,6 +207,25 @@ class PipelinedWaveletAccelerator {
     // Cap on lines per driver call; the 2048-word buffer capacity caps the
     // batch too, whichever bites first.
     int max_lines_per_call = 16;
+    // Scatter-gather descriptor chain length: one driver entry (ioctl) arms
+    // up to this many batches; the rest of the chain pays only the
+    // descriptor build/fetch charges (DriverCosts::sg_*). 1 = every batch
+    // is a chain head, i.e. the flat per-batch driver entry — bit-identical
+    // to the pre-SG schedule.
+    int sg_chain_len = 1;
+  };
+
+  // One closed batch, recorded when tracing is enabled (set_trace): the
+  // streaming replay (src/sched/streaming.h) re-schedules exactly these
+  // requests across frame boundaries.
+  struct BatchTrace {
+    int lines = 0;
+    int words_in = 0;
+    int words_out = 0;
+    double compute_cycles = 0.0;
+    // True when a barrier() separates this batch from the previous one: its
+    // input depends on outputs of earlier batches (row -> column pass).
+    bool after_barrier = false;
   };
 
   PipelinedWaveletAccelerator(const hw::WaveletEngineConfig& engine,
@@ -199,6 +237,11 @@ class PipelinedWaveletAccelerator {
 
   const hw::WaveletEngineConfig& engine() const { return engine_; }
   const DriverCosts& costs() const { return costs_; }
+  const Batching& batching() const { return batching_; }
+
+  // Record every closed batch into `trace` (nullptr disables). Recording is
+  // pure observation: the event schedule is unchanged.
+  void set_trace(std::vector<BatchTrace>* trace) { trace_ = trace; }
 
   // Queues one line into the current batch, closing the batch first if the
   // line would overflow the kernel buffer or the per-call line cap.
@@ -230,17 +273,24 @@ class PipelinedWaveletAccelerator {
   void barrier() {
     close_batch();
     dep_ready_ = last_output_end_;
+    barrier_pending_ = true;
   }
 
   // Closes any pending batch and returns the completion time of the last
-  // output transfer (PS-visible drain point).
+  // output transfer (PS-visible drain point). A drain closes the armed
+  // descriptor chain too: the ioctl context ends with the synchronous wait,
+  // so the next batch re-enters the driver (chain head).
   SimDuration flush() {
     close_batch();
+    chain_pos_ = 0;
     return last_output_end_;
   }
 
   long long lines() const { return lines_; }
   long long driver_calls() const { return driver_calls_; }
+  // Batches that paid the full driver entry (chain heads). With
+  // sg_chain_len = 1 this equals driver_calls().
+  long long chain_heads() const { return chain_heads_; }
   SimDuration last_completion() const { return last_output_end_; }
 
  private:
@@ -265,12 +315,22 @@ class PipelinedWaveletAccelerator {
     // engine; with two, the call overlaps the other buffer's processing
     // (Fig. 5). It also may not run before the outputs this batch's lines
     // depend on have landed (dep_ready_, see barrier()).
+    //
+    // Scatter-gather chaining (sg_chain_len > 1): only the chain head pays
+    // the full driver entry; continuation batches append a descriptor to
+    // the armed ring (small PS charge) and the DMA fetches it before the
+    // input burst. Chains persist across barriers (descriptors are armed
+    // ahead of the data dependency) and close at flush().
+    const int chain_len = batching_.sg_chain_len < 1 ? 1 : batching_.sg_chain_len;
+    const bool chain_head = chain_pos_ == 0;
     const int buf = costs_.double_buffering ? (driver_calls_ & 1) : 0;
     const SimDuration drv_ready = std::max(dep_ready_, buffer_free_[buf]);
-    const Timeline::Event drv =
-        timeline_->schedule(ps_, "drv", drv_ready, driver_call_time(costs_));
-    const Timeline::Event in = timeline_->schedule(
-        xfer, "in", drv.end, transfer_time(engine_, costs_, pending_.words_in));
+    const Timeline::Event drv = timeline_->schedule(
+        ps_, chain_head ? "drv" : "desc", drv_ready,
+        chain_head ? driver_call_time(costs_) : sg_desc_build_time(costs_));
+    SimDuration in_time = transfer_time(engine_, costs_, pending_.words_in);
+    if (!chain_head) in_time += sg_desc_fetch_time(costs_);
+    const Timeline::Event in = timeline_->schedule(xfer, "in", drv.end, in_time);
     const Timeline::Event comp = timeline_->schedule(
         pl_, "comp", in.end, hw::pl_clock().cycles(pending_.compute_cycles));
     const Timeline::Event out = timeline_->schedule(
@@ -281,6 +341,13 @@ class PipelinedWaveletAccelerator {
     buffer_free_[buf] = comp.end;
     last_output_end_ = out.end;
     ++driver_calls_;
+    if (chain_head) ++chain_heads_;
+    chain_pos_ = (chain_pos_ + 1) % chain_len;
+    if (trace_) {
+      trace_->push_back({pending_.lines, pending_.words_in, pending_.words_out,
+                         pending_.compute_cycles, barrier_pending_});
+    }
+    barrier_pending_ = false;
     pending_ = Pending{};
   }
 
@@ -295,6 +362,10 @@ class PipelinedWaveletAccelerator {
   SimDuration last_output_end_;
   long long lines_ = 0;
   long long driver_calls_ = 0;
+  long long chain_heads_ = 0;
+  int chain_pos_ = 0;
+  bool barrier_pending_ = false;
+  std::vector<BatchTrace>* trace_ = nullptr;
 };
 
 }  // namespace vf::driver

@@ -9,6 +9,8 @@
 
 #include "src/common/rng.h"
 #include "src/hw/fixed_point.h"
+#include "src/sched/pipeline.h"
+#include "src/sched/streaming.h"
 
 namespace vf::sched {
 
@@ -295,6 +297,12 @@ FleetResult run_fleet(const std::vector<StreamConfig>& streams,
   // costs are shape-only, so one probed frame covers the whole stream.
   std::vector<detail::FleetStreamInput> inputs;
   inputs.reserve(streams.size());
+  // Cross-frame streaming: per-stream op lists for the batch-granular
+  // replay. Batched-FPGA streams record their op stream during pass 1;
+  // everything else (CPU backends, serial FPGA, adaptive) replays its
+  // stage-granular costs as sliced ops on the same scheduler.
+  std::vector<detail::StreamingStreamInput> sinputs;
+  if (fleet.cross_frame) sinputs.reserve(streams.size());
   power::ComputeMode mode = power::ComputeMode::kArmOnly;
   for (std::size_t s = 0; s < streams.size(); ++s) {
     const StreamConfig& sc = streams[s];
@@ -322,6 +330,11 @@ FleetResult run_fleet(const std::vector<StreamConfig>& streams,
     const std::unique_ptr<TransformBackend> backend =
         make_backend(sc.backend, sc.run);
     mode = max_mode(mode, backend->compute_mode());
+    BatchedFpgaBackend* traced = nullptr;
+    if (fleet.cross_frame) {
+      traced = dynamic_cast<BatchedFpgaBackend*>(backend.get());
+      if (traced) traced->enable_stream_trace();
+    }
     TimedFusionRunner runner(*backend, sc.run.fuse);
     const std::vector<FramePair> pairs =
         make_sweep_frames(sc.run.frame_size, frames);
@@ -341,12 +354,41 @@ FleetResult run_fleet(const std::vector<StreamConfig>& streams,
           neon_runner.run_frame_pair(pairs[0].visible, pairs[0].thermal));
       in.spill_cost.assign(static_cast<std::size_t>(frames), probe);
     }
+
+    if (fleet.cross_frame) {
+      detail::StreamingStreamInput sin;
+      sin.arrivals = in.arrivals;
+      sin.period = in.period;
+      sin.queue_depth = in.queue_depth;
+      sin.home_engine = in.home_engine;
+      sin.engine = sc.run.engine;
+      sin.costs = sc.run.driver_costs;
+      sin.sg_chain_len = sc.run.batching.sg_chain_len;
+      if (traced) {
+        sin.frame_ops = traced->take_stream_trace();
+      } else {
+        sin.frame_ops.reserve(in.cost.size());
+        for (const auto& c : in.cost) {
+          sin.frame_ops.push_back(detail::stage_cost_ops(c));
+        }
+      }
+      sin.spill_ops.reserve(in.spill_cost.size());
+      for (const auto& c : in.spill_cost) {
+        sin.spill_ops.push_back(detail::stage_cost_ops(c));
+      }
+      sinputs.push_back(std::move(sin));
+    }
     inputs.push_back(std::move(in));
   }
 
-  detail::FleetSchedule sched = detail::schedule_fleet(
-      inputs, fleet.cores, fleet.engines, fleet.pipeline_depth,
-      fleet.steal_engines, fleet.spill_wait_frac);
+  detail::FleetSchedule sched =
+      fleet.cross_frame
+          ? detail::schedule_streaming(sinputs, fleet.cores, fleet.engines,
+                                       fleet.pipeline_depth, fleet.steal_engines,
+                                       fleet.spill_wait_frac)
+          : detail::schedule_fleet(inputs, fleet.cores, fleet.engines,
+                                   fleet.pipeline_depth, fleet.steal_engines,
+                                   fleet.spill_wait_frac);
 
   FleetResult result;
   result.makespan = sched.timeline.makespan();
@@ -356,8 +398,15 @@ FleetResult run_fleet(const std::vector<StreamConfig>& streams,
   for (const ResourceId engine : sched.engines) {
     result.pl_busy += sched.timeline.busy_time(engine);
   }
+  for (const ResourceId dma : sched.dmas) {
+    result.pl_busy += sched.timeline.busy_time(dma);
+  }
+  // The DMA channels gate the PL draw too (empty on the legacy path, so
+  // its energy integral is unchanged).
+  std::vector<ResourceId> pl_side = sched.engines;
+  pl_side.insert(pl_side.end(), sched.dmas.begin(), sched.dmas.end());
   const detail::FleetEnergy energy =
-      detail::integrate_fleet_energy(sched.timeline, sched.engines, mode);
+      detail::integrate_fleet_energy(sched.timeline, pl_side, mode);
   result.energy_mj = energy.loaded_mj;
   result.energy_gated_mj = energy.gated_mj;
 

@@ -69,6 +69,14 @@ struct FleetConfig {
   // (about seven fit). run_fleet aborts loudly on an impossible count.
   bool fixed_point_engines = false;
   hw::WaveletEngineConfig engine_config;  // per-instance resource footprint
+  // Cross-frame line streaming (ISSUE 9): replay every stream through
+  // schedule_streaming — batched-FPGA streams at captured batch granularity
+  // (an engine slot switching streams keeps its ping-pong buffer state
+  // instead of draining, and descriptor chains of the streams' RunConfig
+  // sg_chain_len amortize the driver entry), other backends as sliced
+  // stage-granular ops on the same replay. Off (default) keeps the legacy
+  // stage-granular schedule bit-identical.
+  bool cross_frame = false;
 };
 
 struct StreamStats {
@@ -143,6 +151,10 @@ struct FleetFrameOutcome {
 struct FleetSchedule {
   Timeline timeline;
   std::vector<ResourceId> cores, engines;
+  // Per-engine ACP DMA channels — only populated by the streaming replay
+  // (schedule_streaming, src/sched/streaming.h); empty on the stage-granular
+  // path, so legacy accounting is unchanged.
+  std::vector<ResourceId> dmas;
   std::vector<std::vector<FleetFrameOutcome>> frames;  // per stream, per frame
   std::vector<SimDuration> stream_ps_busy, stream_pl_busy;
 };

@@ -74,11 +74,73 @@ void BatchedFpgaBackend::charge(SimDuration d) {
   // ledger is reconciled from the makespan at the next sync, so no direct
   // ledger_add here — adding both would double-charge.
   timeline_.schedule(ps_, "ps", ps_ready_, d);
+  if (tracing_) {
+    drain_trace(phase());
+    detail::append_sliced_ps(&cur_ops_, static_cast<int>(phase()), d);
+  }
 }
 
-void BatchedFpgaBackend::on_phase_exit(Phase old_phase) { sync(old_phase); }
+void BatchedFpgaBackend::on_phase_exit(Phase old_phase) {
+  sync(old_phase);
+  if (tracing_) {
+    drain_trace(old_phase);
+    push_stage_boundary(old_phase);
+  }
+}
 
-void BatchedFpgaBackend::finish_frame() { sync(phase()); }
+void BatchedFpgaBackend::finish_frame() {
+  sync(phase());
+  if (tracing_) {
+    drain_trace(phase());
+    trace_frames_.push_back(std::move(cur_ops_));
+    cur_ops_.clear();
+    batch_trace_.clear();
+    batch_drained_ = 0;
+  }
+}
+
+void BatchedFpgaBackend::enable_stream_trace() {
+  tracing_ = true;
+  batch_trace_.clear();
+  batch_drained_ = 0;
+  cur_ops_.clear();
+  trace_frames_.clear();
+  accel_.set_trace(&batch_trace_);
+}
+
+std::vector<std::vector<detail::StreamOp>> BatchedFpgaBackend::take_stream_trace() {
+  tracing_ = false;
+  accel_.set_trace(nullptr);
+  return std::move(trace_frames_);
+}
+
+void BatchedFpgaBackend::drain_trace(Phase stage) {
+  for (; batch_drained_ < batch_trace_.size(); ++batch_drained_) {
+    const auto& b = batch_trace_[batch_drained_];
+    detail::StreamOp op;
+    op.kind = detail::StreamOp::Kind::kBatch;
+    op.stage = static_cast<int>(stage);
+    op.words_in = b.words_in;
+    op.words_out = b.words_out;
+    op.compute_cycles = b.compute_cycles;
+    op.after_barrier = b.after_barrier;
+    cur_ops_.push_back(op);
+  }
+}
+
+void BatchedFpgaBackend::push_stage_boundary(Phase stage) {
+  // A leading or doubled boundary carries no information (the next frame's
+  // set_phase(kPrep) re-exits the previous frame's kInverse after
+  // finish_frame already drained it) — skip those.
+  if (cur_ops_.empty() ||
+      cur_ops_.back().kind == detail::StreamOp::Kind::kStageBoundary) {
+    return;
+  }
+  detail::StreamOp op;
+  op.kind = detail::StreamOp::Kind::kStageBoundary;
+  op.stage = static_cast<int>(stage);
+  cur_ops_.push_back(op);
+}
 
 void BatchedFpgaBackend::sync(Phase charge_to) {
   accel_.flush();
@@ -116,7 +178,16 @@ PipelineRunResult run_pipelined(TransformBackend& backend,
 
   // Pass 1: serial numerics + per-frame stage costs split into the work the
   // PS core must execute and the PL-resident remainder it may overlap.
+  //
+  // Cross-frame streaming (ISSUE 9) records each frame's op stream during
+  // this same pass; backends without a batch trace fall back to the legacy
+  // stage-granular overlap silently.
   constexpr int kStages = 4;
+  BatchedFpgaBackend* streaming_backend = nullptr;
+  if (options.overlap && options.cross_frame) {
+    streaming_backend = dynamic_cast<BatchedFpgaBackend*>(&backend);
+    if (streaming_backend) streaming_backend->enable_stream_trace();
+  }
   TimedFusionRunner runner(backend, options.fuse);
   std::vector<std::array<StageCost, kStages>> cost;
   cost.reserve(frames.size());
@@ -146,7 +217,30 @@ PipelineRunResult run_pipelined(TransformBackend& backend,
   // PL/DMA resource is actually busy — and because intervals are merged,
   // concurrent PS+PL activity is charged once.
   const power::ComputeMode mode = backend.compute_mode();
-  if (options.overlap) {
+  if (streaming_backend) {
+    // Streaming replay: the captured batch stream re-schedules at line
+    // granularity on one core + one engine slot (with its own DMA channel).
+    // Ping-pong buffer state persists across frames, so the next frame's
+    // rows fill buffer B while the current frame's last batch computes out
+    // of buffer A, and descriptor chains amortize the driver entry.
+    detail::StreamingStreamInput in;
+    in.arrivals.assign(frames.size(), SimDuration::zero());
+    in.frame_ops = streaming_backend->take_stream_trace();
+    in.engine = streaming_backend->accelerator().engine();
+    in.costs = streaming_backend->accelerator().costs();
+    in.sg_chain_len = streaming_backend->accelerator().batching().sg_chain_len;
+    const detail::FleetSchedule sched = detail::schedule_streaming(
+        {in}, /*cores=*/1, /*engines=*/1, options.depth < 1 ? 1 : options.depth,
+        /*steal_engines=*/true, /*spill_wait_frac=*/0.0);
+    result.makespan = sched.timeline.makespan();
+    result.ps_busy = sched.timeline.busy_time(sched.cores[0]);
+    result.pl_busy = sched.timeline.busy_time(sched.engines[0]) +
+                     sched.timeline.busy_time(sched.dmas[0]);
+    const detail::FleetEnergy energy = detail::integrate_fleet_energy(
+        sched.timeline, {sched.engines[0], sched.dmas[0]}, mode);
+    result.energy_mj = energy.loaded_mj;
+    result.energy_gated_mj = energy.gated_mj;
+  } else if (options.overlap) {
     // Overlapped schedule = a 1-stream fleet with every frame ready at t=0
     // and an unbounded queue. Sharing detail::schedule_fleet (rather than a
     // second scheduler) is what makes the fleet's 1-stream case reproduce
@@ -211,6 +305,7 @@ PipelineRunResult run_pipelined(TransformBackend& backend,
   PipelineOptions options;
   options.overlap = config.pipeline_depth > 1;
   options.depth = config.pipeline_depth;
+  options.cross_frame = config.cross_frame;
   options.fuse = config.fuse;
   return run_pipelined(backend, frames, options);
 }

@@ -30,6 +30,7 @@
 
 #include "src/common/timeline.h"
 #include "src/sched/adaptive.h"
+#include "src/sched/streaming.h"
 
 namespace vf::sched {
 
@@ -59,6 +60,14 @@ class BatchedFpgaBackend : public TransformBackend {
   ResourceId dma_resource() const { return dma_; }
   ResourceId pl_resource() const { return pl_; }
 
+  // Cross-frame streaming trace (ISSUE 9): record every frame's op stream
+  // (PS slices, accelerator batches, stage boundaries) during the serial
+  // measurement pass. Recording is pure observation — the serial schedule,
+  // ledgers, and numerics are unchanged. take_stream_trace() returns one op
+  // list per completed frame and stops recording.
+  void enable_stream_trace();
+  std::vector<std::vector<detail::StreamOp>> take_stream_trace();
+
  protected:
   void on_phase_exit(Phase old_phase) override;
 
@@ -69,6 +78,11 @@ class BatchedFpgaBackend : public TransformBackend {
   // sync to `charge_to` (PL/DMA busy growth goes to the PL split ledger).
   void sync(Phase charge_to);
 
+  // Converts accelerator batches closed since the last drain into kBatch
+  // ops, then (optionally) appends a stage boundary; no-ops unless tracing.
+  void drain_trace(Phase stage);
+  void push_stage_boundary(Phase stage);
+
   Timeline timeline_;
   ResourceId ps_, dma_, pl_;
   driver::PipelinedWaveletAccelerator accel_;
@@ -76,6 +90,13 @@ class BatchedFpgaBackend : public TransformBackend {
   SimDuration mark_pl_busy_;  // PL+DMA busy time at last sync
   SimDuration ps_ready_;      // PS events wait for drained outputs
   std::unique_ptr<Filter> filter_;
+
+  // Streaming trace capture (enable_stream_trace).
+  bool tracing_ = false;
+  std::vector<driver::PipelinedWaveletAccelerator::BatchTrace> batch_trace_;
+  std::size_t batch_drained_ = 0;
+  std::vector<detail::StreamOp> cur_ops_;
+  std::vector<std::vector<detail::StreamOp>> trace_frames_;
 };
 
 // --- frame-level pipelining -------------------------------------------------
@@ -87,6 +108,13 @@ struct PipelineOptions {
   // Frames in flight at once on the overlapped schedule (the 4-stage
   // software-pipeline window).
   int depth = 4;
+  // Cross-frame line streaming (ISSUE 9): with overlap on and a
+  // BatchedFpgaBackend, replay the captured batch stream at line granularity
+  // via detail::schedule_streaming — ping-pong buffers persist across frame
+  // boundaries and descriptor chains amortize the driver entry
+  // (RunConfig::batching.sg_chain_len). Ignored (silently legacy) for other
+  // backends. Off keeps the stage-granular schedule bit-identical.
+  bool cross_frame = false;
   fusion::FuseConfig fuse;
 };
 

@@ -64,6 +64,16 @@ struct RunConfig {
   // schedule), and the adaptive router's NEON/FPGA crossover.
   int pipeline_depth = 4;
   int adaptive_threshold_samples = hw::cost::kAdaptiveThresholdSamples;
+
+  // Cross-frame line streaming (ISSUE 9): when true and the stream runs on
+  // the batched FPGA path with pipeline_depth > 1, run_pipelined/run_fleet
+  // replay the captured batch stream at line granularity across frame and
+  // level boundaries (ping-pong buffers refill from the next frame's rows
+  // while the current frame's last batch is on the engine) instead of the
+  // stage-granular overlap. Off (default) keeps every legacy schedule
+  // bit-identical. Pair with batching.sg_chain_len to amortize the driver
+  // entry over a descriptor chain.
+  bool cross_frame = false;
 };
 
 // --- backend factory --------------------------------------------------------

@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Gate host wall-clock performance against a rolling cross-build history.
+
+The modeled ZC702 numbers are locked bit-for-bit by check_bench_baseline.py;
+this tool covers the other half of the bench output — real host wall-clock
+measurements (fps-vs-threads curves, the membw STREAM sweep) that legitimately
+differ between machines but should not silently fall off a cliff on the same
+CI runner pool.
+
+Usage:
+  tools/perf_history.py --history HISTORY.json [options] FRESH.json ...
+
+Walks every fresh --json report for numeric leaves whose key contains
+"wall_s" (wall-clock seconds, lower is better), prefixes each path with the
+report's basename, and compares the current value against the median of that
+metric over the last --window history entries. A metric regresses when
+
+  current > --max-ratio * median(previous)
+
+and it has at least --min-entries prior samples and the median is above
+--min-seconds (sub-floor timings are dominated by scheduler noise, not by
+the code under test). After the check, the current run is appended to the
+history and the file is pruned to --keep entries, so the caller persists one
+small JSON file (actions/cache in CI) instead of N artifacts.
+
+Exit codes: 0 ok / history warming up, 1 regression, 2 usage error.
+"""
+import argparse
+import json
+import os
+import statistics
+import sys
+
+
+def wall_leaves(value, path=""):
+    if isinstance(value, dict):
+        for key, child in value.items():
+            yield from wall_leaves(child, f"{path}.{key}" if path else key)
+    elif isinstance(value, list):
+        for i, child in enumerate(value):
+            yield from wall_leaves(child, f"{path}[{i}]")
+    elif isinstance(value, (int, float)) and not isinstance(value, bool):
+        # The leaf key, not the whole path: "host_wall_clock.threads[2].fps"
+        # is a rate, "...wall_s" is the timing we gate on.
+        if "wall_s" in path.rsplit(".", 1)[-1]:
+            yield path, float(value)
+
+
+def collect_metrics(paths):
+    metrics = {}
+    for fresh_path in paths:
+        with open(fresh_path) as f:
+            report = json.load(f)
+        prefix = os.path.splitext(os.path.basename(fresh_path))[0]
+        for path, value in wall_leaves(report):
+            metrics[f"{prefix}:{path}"] = value
+    return metrics
+
+
+def check(metrics, entries, args):
+    regressions, gated, warming = [], 0, 0
+    for name, current in sorted(metrics.items()):
+        previous = [
+            e["metrics"][name]
+            for e in entries[-args.window:]
+            if name in e.get("metrics", {})
+        ]
+        if len(previous) < args.min_entries:
+            warming += 1
+            continue
+        median = statistics.median(previous)
+        if median < args.min_seconds:
+            continue
+        gated += 1
+        if current > args.max_ratio * median:
+            regressions.append(
+                f"{name}: {current:.4f}s vs median {median:.4f}s of last "
+                f"{len(previous)} runs ({current / median:.2f}x > "
+                f"{args.max_ratio:.2f}x)"
+            )
+    return regressions, gated, warming
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument("--history", required=True, help="rolling history JSON file")
+    parser.add_argument("--label", default="", help="tag for this run (sha, run id)")
+    parser.add_argument("--max-ratio", type=float, default=1.5)
+    parser.add_argument("--min-seconds", type=float, default=0.005)
+    parser.add_argument("--min-entries", type=int, default=3)
+    parser.add_argument("--window", type=int, default=10)
+    parser.add_argument("--keep", type=int, default=30)
+    parser.add_argument("fresh", nargs="+", help="bench --json reports")
+    args = parser.parse_args(argv[1:])
+
+    metrics = collect_metrics(args.fresh)
+    if not metrics:
+        sys.stderr.write("no wall_s leaves found in the given reports\n")
+        return 2
+
+    entries = []
+    if os.path.exists(args.history):
+        with open(args.history) as f:
+            entries = json.load(f).get("entries", [])
+
+    regressions, gated, warming = check(metrics, entries, args)
+
+    entries.append({"label": args.label, "metrics": metrics})
+    with open(args.history, "w") as f:
+        json.dump({"entries": entries[-args.keep:]}, f, indent=1)
+        f.write("\n")
+
+    print(
+        f"{len(metrics)} wall-clock metric(s) from {len(args.fresh)} report(s); "
+        f"{gated} gated against {min(len(entries) - 1, args.window)} prior "
+        f"run(s), {warming} still warming up; history at {args.history} "
+        f"({len(entries[-args.keep:])} entries)"
+    )
+    if regressions:
+        sys.stderr.write(f"{len(regressions)} wall-clock regression(s):\n")
+        for r in regressions:
+            sys.stderr.write(f"  {r}\n")
+        sys.stderr.write(
+            "re-run to rule out a noisy runner; a persistent ratio above the "
+            "gate is a host-path regression to investigate before merging.\n"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
