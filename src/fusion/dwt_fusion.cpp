@@ -277,18 +277,6 @@ const float* extend_synthesis(const FilterBank& bank, const float* lo,
 // On the 5..16-tap banks the extension is rebuilt once per line, so this is
 // one of the three host hot spots (with the column stride and the per-line
 // dispatch).
-void fill_analysis_ext(const FilterBank& bank, const float* x, int n, float* ext) {
-  const int ext_len = n + bank.taps();
-  int src = wrap(-bank.analysis_offset, n);
-  int k = 0;
-  while (k < ext_len) {
-    const int run = std::min(n - src, ext_len - k);
-    std::memcpy(ext + k, x + src, static_cast<std::size_t>(run) * sizeof(float));
-    k += run;
-    src = 0;
-  }
-}
-
 void fill_synthesis_ext(const FilterBank& bank, const float* lo, const float* hi,
                         int n, float* ext) {
   const int ext_len = n + bank.synth_taps();
@@ -300,6 +288,19 @@ void fill_synthesis_ext(const FilterBank& bank, const float* lo, const float* hi
 }
 
 }  // namespace
+
+void detail::fill_analysis_ext(const FilterBank& bank, const float* x, int n,
+                               float* ext) {
+  const int ext_len = n + bank.taps();
+  int src = wrap(-bank.analysis_offset, n);
+  int k = 0;
+  while (k < ext_len) {
+    const int run = std::min(n - src, ext_len - k);
+    std::memcpy(ext + k, x + src, static_cast<std::size_t>(run) * sizeof(float));
+    k += run;
+    src = 0;
+  }
+}
 
 void analyze_line(LineFilter& f, const FilterBank& bank, const float* x, int n,
                   float* lo, float* hi, std::vector<float>& scratch) {
@@ -318,17 +319,26 @@ void synthesize_line(LineFilter& f, const FilterBank& bank, const float* lo,
 // --- 2-D transform ----------------------------------------------------------
 
 namespace {
-HostLayout g_host_layout = HostLayout::kTiled;
+HostLayout g_host_layout = HostLayout::kFused;
 }  // namespace
 
 HostLayout host_layout() { return g_host_layout; }
 void set_host_layout(HostLayout layout) { g_host_layout = layout; }
 const char* host_layout_name(HostLayout layout) {
-  return layout == HostLayout::kTiled ? "tiled" : "naive";
+  switch (layout) {
+    case HostLayout::kFused:
+      return "fused";
+    case HostLayout::kTiled:
+      return "tiled";
+    case HostLayout::kNaive:
+      return "naive";
+  }
+  return "?";
 }
 
 namespace {
 
+using detail::fill_analysis_ext;
 using image::ImageF;
 
 // Lines per multi-line kernel dispatch, and the alignment that keeps every
@@ -475,7 +485,11 @@ LevelOut analyze_level_tiled(const ImageF& padded, const FilterBank& row_bank,
 LevelOut analyze_level(const ImageF& padded, const FilterBank& row_bank,
                        const FilterBank& col_bank, LineFilter& f,
                        std::vector<float>& scratch) {
-  if (f.splittable() && g_host_layout == HostLayout::kTiled) {
+  // kFused steers the frame-pair entry points (fuse_frames, the timed
+  // runners) into the band-streaming plan before they reach these standalone
+  // per-tree passes; a transform invoked outside a fusion pair under kFused
+  // still deserves the cache-aware layout, so only kNaive opts out here.
+  if (f.splittable() && g_host_layout != HostLayout::kNaive) {
     return analyze_level_tiled(padded, row_bank, col_bank, f);
   }
   ThreadPool* pool = f.splittable() ? f.pool() : nullptr;
@@ -659,7 +673,11 @@ ImageF synthesize_level_tiled(const ImageF& ll, const LevelBands& bands,
 ImageF synthesize_level(const ImageF& ll, const LevelBands& bands,
                         const FilterBank& row_bank, const FilterBank& col_bank,
                         LineFilter& f, std::vector<float>& scratch) {
-  if (f.splittable() && g_host_layout == HostLayout::kTiled) {
+  // kFused steers the frame-pair entry points (fuse_frames, the timed
+  // runners) into the band-streaming plan before they reach these standalone
+  // per-tree passes; a transform invoked outside a fusion pair under kFused
+  // still deserves the cache-aware layout, so only kNaive opts out here.
+  if (f.splittable() && g_host_layout != HostLayout::kNaive) {
     return synthesize_level_tiled(ll, bands, row_bank, col_bank, f);
   }
   ThreadPool* pool = f.splittable() ? f.pool() : nullptr;
@@ -744,6 +762,10 @@ ImageF synthesize_level(const ImageF& ll, const LevelBands& bands,
   return out;
 }
 
+}  // namespace
+
+namespace detail {
+
 FilterBank bank_for_level(const TransformConfig& config, int level, int tree) {
   const Wavelet base = level == 0 ? config.level1 : config.higher;
   switch (base) {
@@ -768,17 +790,31 @@ FilterBank bank_for_level(const TransformConfig& config, int level, int tree) {
 // would have interleaved with the numerics.
 void account_forward_tree(int rows, int cols, const TransformConfig& config,
                           int row_tree, int col_tree, LineFilter& f) {
+  std::vector<FilterBank> row_banks, col_banks;
+  row_banks.reserve(config.levels);
+  col_banks.reserve(config.levels);
+  for (int level = 0; level < config.levels; ++level) {
+    row_banks.push_back(bank_for_level(config, level, row_tree));
+    col_banks.push_back(bank_for_level(config, level, col_tree));
+  }
+  account_forward_tree(rows, cols, config, row_banks.data(), col_banks.data(),
+                       f);
+}
+
+void account_forward_tree(int rows, int cols, const TransformConfig& config,
+                          const FilterBank* row_banks,
+                          const FilterBank* col_banks, LineFilter& f) {
   int r = rows, c = cols;
   for (int level = 0; level < config.levels; ++level) {
-    const FilterBank row_bank = bank_for_level(config, level, row_tree);
-    const FilterBank col_bank = bank_for_level(config, level, col_tree);
+    const int row_taps = row_banks[level].taps();
+    const int col_taps = col_banks[level].taps();
     const int rp = r + (r & 1);
     const int cp = c + (c & 1);
-    for (int i = 0; i < rp; ++i) f.account_analyze(cp / 2, row_bank.taps());
+    for (int i = 0; i < rp; ++i) f.account_analyze(cp / 2, row_taps);
     f.barrier();
     for (int i = 0; i < cp / 2; ++i) {
-      f.account_analyze(rp / 2, col_bank.taps());
-      f.account_analyze(rp / 2, col_bank.taps());
+      f.account_analyze(rp / 2, col_taps);
+      f.account_analyze(rp / 2, col_taps);
     }
     f.barrier();
     r = rp / 2;
@@ -786,13 +822,64 @@ void account_forward_tree(int rows, int cols, const TransformConfig& config,
   }
 }
 
-// Serial replay of one tree's inverse accounting (see account_forward_tree).
+// Dims-based inverse replay for the fused plan, which never materializes a
+// TreePyramid: the per-level pre-padding dims are re-derived from the input
+// size exactly as forward_tree records them in bands.in_rows/in_cols.
+void account_inverse_tree(int rows, int cols, const TransformConfig& config,
+                          int row_tree, int col_tree, LineFilter& f) {
+  std::vector<FilterBank> row_banks, col_banks;
+  row_banks.reserve(config.levels);
+  col_banks.reserve(config.levels);
+  for (int level = 0; level < config.levels; ++level) {
+    row_banks.push_back(bank_for_level(config, level, row_tree));
+    col_banks.push_back(bank_for_level(config, level, col_tree));
+  }
+  account_inverse_tree(rows, cols, config, row_banks.data(), col_banks.data(),
+                       f);
+}
+
+void account_inverse_tree(int rows, int cols, const TransformConfig& config,
+                          const FilterBank* row_banks,
+                          const FilterBank* col_banks, LineFilter& f) {
+  std::vector<int> lr(config.levels + 1), lc(config.levels + 1);
+  lr[0] = rows;
+  lc[0] = cols;
+  for (int level = 0; level < config.levels; ++level) {
+    lr[level + 1] = (lr[level] + (lr[level] & 1)) / 2;
+    lc[level + 1] = (lc[level] + (lc[level] & 1)) / 2;
+  }
+  int rp2 = lr[config.levels], cp2 = lc[config.levels];
+  for (int level = config.levels - 1; level >= 0; --level) {
+    const int col_staps = col_banks[level].synth_taps();
+    const int row_staps = row_banks[level].synth_taps();
+    for (int i = 0; i < cp2; ++i) {
+      f.account_synthesize(rp2, col_staps);
+      f.account_synthesize(rp2, col_staps);
+    }
+    f.barrier();
+    for (int i = 0; i < 2 * rp2; ++i) {
+      f.account_synthesize(cp2, row_staps);
+    }
+    f.barrier();
+    rp2 = lr[level];
+    cp2 = lc[level];
+  }
+}
+
+}  // namespace detail
+
+namespace {
+
+// Serial replay of one tree's inverse accounting from the pyramid's actual
+// level dims (see detail::account_forward_tree); inverse_tree can be handed
+// a pyramid whose bands were built elsewhere, so it trusts the pyramid over
+// the dims chain.
 void account_inverse_tree(const TreePyramid& pyr, const TransformConfig& config,
                           int row_tree, int col_tree, LineFilter& f) {
   int rp2 = pyr.ll.rows(), cp2 = pyr.ll.cols();
   for (int level = static_cast<int>(pyr.levels.size()) - 1; level >= 0; --level) {
-    const FilterBank row_bank = bank_for_level(config, level, row_tree);
-    const FilterBank col_bank = bank_for_level(config, level, col_tree);
+    const FilterBank row_bank = detail::bank_for_level(config, level, row_tree);
+    const FilterBank col_bank = detail::bank_for_level(config, level, col_tree);
     for (int i = 0; i < cp2; ++i) {
       f.account_synthesize(rp2, col_bank.synth_taps());
       f.account_synthesize(rp2, col_bank.synth_taps());
@@ -820,8 +907,8 @@ TreePyramid forward_tree(const ImageF& img, const TransformConfig& config,
   const ImageF* current = &img;
   ImageF own;
   for (int level = 0; level < config.levels; ++level) {
-    const FilterBank row_bank = bank_for_level(config, level, row_tree);
-    const FilterBank col_bank = bank_for_level(config, level, col_tree);
+    const FilterBank row_bank = detail::bank_for_level(config, level, row_tree);
+    const FilterBank col_bank = detail::bank_for_level(config, level, col_tree);
     LevelBands bands;
     bands.in_rows = current->rows();
     bands.in_cols = current->cols();
@@ -845,8 +932,8 @@ ImageF inverse_tree(const TreePyramid& pyr, const TransformConfig& config,
   std::vector<float> scratch;
   ImageF current = pyr.ll;
   for (int level = static_cast<int>(pyr.levels.size()) - 1; level >= 0; --level) {
-    const FilterBank row_bank = bank_for_level(config, level, row_tree);
-    const FilterBank col_bank = bank_for_level(config, level, col_tree);
+    const FilterBank row_bank = detail::bank_for_level(config, level, row_tree);
+    const FilterBank col_bank = detail::bank_for_level(config, level, col_tree);
     current = synthesize_level(current, pyr.levels[level], row_bank, col_bank, filter,
                                scratch);
   }
@@ -876,7 +963,8 @@ DtcwtPyramid forward_dtcwt(const ImageF& img, const TransformConfig& config,
     }
   });
   for (int t = 0; t < 4; ++t) {
-    account_forward_tree(img.rows(), img.cols(), config, t >> 1, t & 1, filter);
+    detail::account_forward_tree(img.rows(), img.cols(), config, t >> 1, t & 1,
+                                 filter);
   }
   return pyr;
 }

@@ -215,16 +215,24 @@ void synthesize_line(LineFilter& f, const FilterBank& bank, const float* lo,
 
 // Memory layout of the 2-D passes for splittable filters:
 //
-//   kTiled  (default) — per-thread arena scratch (src/common/arena.h), run-
-//           based periodic extension (memcpy runs instead of a per-sample
-//           modulo), and a cache-blocked transpose so the column pass filters
-//           contiguous rows through the multi-line kernels (KernelSet::
-//           analyze_ml/synthesize_ml, up to simd::kMaxLinesPerCall lines per
-//           dispatch).
+//   kFused  (default) — the band-streaming execution plan
+//           (src/fusion/fused_plan.h): fuse_frames and the timed runners
+//           interleave the two frames' transforms band-by-band and consume
+//           each band with the magnitude/select rule while it is hot in
+//           cache, streaming fused bands straight into inverse synthesis —
+//           the second pyramid is never materialized. Standalone
+//           forward_tree/forward_dtcwt calls (no frame pair to fuse against)
+//           execute the tiled layout below.
+//   kTiled  — PR 8's staged path: per-thread arena scratch
+//           (src/common/arena.h), run-based periodic extension (memcpy runs
+//           instead of a per-sample modulo), and a cache-blocked transpose so
+//           the column pass filters contiguous rows through the multi-line
+//           kernels (KernelSet::analyze_ml/synthesize_ml, up to
+//           simd::kMaxLinesPerCall lines per dispatch).
 //   kNaive  — the historical per-line path: stride-W column gathers into
 //           std::vector scratch, one kernel dispatch per line.
 //
-// Both layouts feed every line the same extended samples through the same
+// All layouts feed every line the same extended samples through the same
 // per-line kernel flavour and replay the same account_*/barrier() sequence,
 // so fused bits and modeled time/energy are bit-identical (locked by
 // tests/test_host_parallel.cpp); the toggle exists for the bench_pipeline
@@ -232,7 +240,7 @@ void synthesize_line(LineFilter& f, const FilterBank& bank, const float* lo,
 // set_active_kernels: select at startup, before spawning parallel work.
 // Non-splittable filters (the fixed-point datapath) always run the naive
 // combined path regardless of this setting.
-enum class HostLayout { kTiled, kNaive };
+enum class HostLayout { kFused, kTiled, kNaive };
 HostLayout host_layout();
 void set_host_layout(HostLayout layout);
 const char* host_layout_name(HostLayout layout);
@@ -279,5 +287,42 @@ DtcwtPyramid forward_dtcwt(const image::ImageF& img, const TransformConfig& conf
 // Averages the four trees' reconstructions.
 image::ImageF inverse_dtcwt(const DtcwtPyramid& pyr, const TransformConfig& config,
                             LineFilter& filter);
+
+// --- shared transform internals ---------------------------------------------
+// Used by the band-streaming fused plan (src/fusion/fused_plan.cpp), which
+// must produce the exact per-line inputs and the exact account_*/barrier()
+// sequence of the staged path above.
+namespace detail {
+
+// The bank a given tree applies at a given level (tree B = one-sample delay
+// at level 1, reversed q-shift at levels >= 2).
+FilterBank bank_for_level(const TransformConfig& config, int level, int tree);
+
+// Run-based periodic extension of one analysis line (ext needs
+// n + bank.taps() floats).
+void fill_analysis_ext(const FilterBank& bank, const float* x, int n, float* ext);
+
+// Replay one tree's forward / inverse account_*/barrier() sequence for an
+// input of the given pre-padding dims — the exact sequence the staged
+// forward_tree/inverse_tree emit, derived from shapes alone (accounting
+// never reads sample values).
+void account_forward_tree(int rows, int cols, const TransformConfig& config,
+                          int row_tree, int col_tree, LineFilter& f);
+void account_inverse_tree(int rows, int cols, const TransformConfig& config,
+                          int row_tree, int col_tree, LineFilter& f);
+
+// Bank-cached variants: identical account/barrier sequences, but taking the
+// per-level banks (row_banks[level] / col_banks[level], config.levels each)
+// from the caller instead of rebuilding them per tree. The fused plan replays
+// twelve tree accountings per frame pair; rebuilding the banks dominated the
+// replay cost.
+void account_forward_tree(int rows, int cols, const TransformConfig& config,
+                          const FilterBank* row_banks,
+                          const FilterBank* col_banks, LineFilter& f);
+void account_inverse_tree(int rows, int cols, const TransformConfig& config,
+                          const FilterBank* row_banks,
+                          const FilterBank* col_banks, LineFilter& f);
+
+}  // namespace detail
 
 }  // namespace vf::dwt

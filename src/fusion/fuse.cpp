@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "src/common/arena.h"
+#include "src/fusion/fused_plan.h"
 
 namespace vf::fusion {
 
@@ -78,6 +79,11 @@ void fuse_pyramids(const dwt::DtcwtPyramid& a, const dwt::DtcwtPyramid& b,
 
 image::ImageF fuse_frames(const image::ImageF& a, const image::ImageF& b,
                           const FuseConfig& config, dwt::LineFilter& filter) {
+  if (dwt::host_layout() == dwt::HostLayout::kFused &&
+      dwt::FusionPlan::applicable(config.transform, filter)) {
+    const dwt::FusionPlan plan(a.rows(), a.cols(), config.transform);
+    return plan.run(a, b, filter);
+  }
   const dwt::DtcwtPyramid pa = dwt::forward_dtcwt(a, config.transform, filter);
   const dwt::DtcwtPyramid pb = dwt::forward_dtcwt(b, config.transform, filter);
   dwt::DtcwtPyramid fused;

@@ -16,6 +16,8 @@ const KernelSet& scalar_kernels() {
       dual_corr_decimate2_ileave_ml_scalar,
       complex_magnitude_ml_scalar,
       select_by_magnitude_ml_scalar,
+      analyze_mag_ml_scalar,
+      select_synth_ml_scalar,
   };
   return set;
 }
@@ -32,6 +34,8 @@ const KernelSet& simd_kernels() {
       dual_corr_decimate2_ileave_ml_simd,
       complex_magnitude_ml_simd,
       select_by_magnitude_ml_simd,
+      analyze_mag_ml_simd,
+      select_synth_ml_simd,
   };
   return set;
 }
@@ -48,6 +52,8 @@ const KernelSet& autovec_kernels() {
       dual_corr_decimate2_ileave_ml_autovec,
       complex_magnitude_ml_autovec,
       select_by_magnitude_ml_autovec,
+      analyze_mag_ml_autovec,
+      select_synth_ml_autovec,
   };
   return set;
 }

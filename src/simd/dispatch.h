@@ -46,6 +46,24 @@ struct KernelSet {
                     const float* b_im, const float* mag_a, const float* mag_b,
                     int nlines, int len, int in_stride, float* out_re,
                     float* out_im, int out_stride);
+  // Fused cross-stage forms (kernels.h): forward column analysis + complex
+  // magnitude in one walk, and magnitude select + inverse synthesis in one
+  // walk. Per line they delegate to the single-line flavours above, so the
+  // band-streaming plan (src/fusion/fused_plan.cpp) inherits the same
+  // bit-identity/1-ulp contract as the staged path.
+  void (*analyze_mag_ml)(const float* x_re, const float* x_im, int x_stride,
+                         int nlines, int out_len, const float* lp_re,
+                         const float* hp_re, const float* lp_im,
+                         const float* hp_im, int taps, float* lo_re,
+                         float* hi_re, float* lo_im, float* hi_im,
+                         float* mag_lo, float* mag_hi, int out_stride);
+  void (*select_synth_ml)(const float* lo_a, const float* lo_b,
+                          const float* mlo_a, const float* mlo_b,
+                          const float* hi_a, const float* hi_b,
+                          const float* mhi_a, const float* mhi_b,
+                          int in_stride, int nlines, int pairs, const float* ca,
+                          const float* cb, int taps, int synth_offset,
+                          float* out, int out_stride);
 };
 
 const KernelSet& scalar_kernels();

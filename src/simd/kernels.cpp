@@ -1,6 +1,8 @@
 #include "src/simd/kernels.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <vector>
 
 // The *_simd kernels use real vector intrinsics where the target has them.
@@ -384,6 +386,44 @@ void select_by_magnitude_simd(const float* a_re, const float* a_im, const float*
   }
 }
 
+// --- select_half -------------------------------------------------------------
+// One component of select_by_magnitude. The fused synthesis kernel selects
+// the lo and hi streams of a line independently, so it needs the single-
+// plane form; it is pure data movement and chunk-invariant per element, so
+// selecting a stream line-by-line produces the same bits as the staged
+// whole-plane select.
+
+void select_half_scalar(const float* a, const float* b, const float* mag_a,
+                        const float* mag_b, int n, float* out) {
+  for (int i = 0; i < n; ++i) {
+    out[i] = mag_a[i] >= mag_b[i] ? a[i] : b[i];
+  }
+}
+
+void select_half_simd(const float* a, const float* b, const float* mag_a,
+                      const float* mag_b, int n, float* out) {
+  // Bitwise select, like select_by_magnitude_simd: the output is one of the
+  // two inputs verbatim, so sign bits survive.
+  int i = 0;
+#if defined(VF_SIMD_SSE2)
+  for (; i + kSimdLanes <= n; i += kSimdLanes) {
+    const __m128 take_a =
+        _mm_cmpge_ps(_mm_loadu_ps(mag_a + i), _mm_loadu_ps(mag_b + i));
+    _mm_storeu_ps(out + i, _mm_or_ps(_mm_and_ps(take_a, _mm_loadu_ps(a + i)),
+                                     _mm_andnot_ps(take_a, _mm_loadu_ps(b + i))));
+  }
+#elif defined(VF_SIMD_NEON)
+  for (; i + kSimdLanes <= n; i += kSimdLanes) {
+    const uint32x4_t take_a =
+        vcgeq_f32(vld1q_f32(mag_a + i), vld1q_f32(mag_b + i));
+    vst1q_f32(out + i, vbslq_f32(take_a, vld1q_f32(a + i), vld1q_f32(b + i)));
+  }
+#endif
+  for (; i < n; ++i) {
+    out[i] = mag_a[i] >= mag_b[i] ? a[i] : b[i];
+  }
+}
+
 // --- average ----------------------------------------------------------------
 
 void average_scalar(const float* a, const float* b, int n, float* out) {
@@ -535,6 +575,172 @@ void select_by_magnitude_ml_autovec(const float* a_re, const float* a_im,
                                 mag_a + l * in_stride, mag_b + l * in_stride, len,
                                 out_re + l * out_stride, out_im + l * out_stride);
   }
+}
+
+// --- fused cross-stage kernels ----------------------------------------------
+//
+// Same per-line delegation contract as the _ml variants: every fused call is
+// a sequence of single-line calls of ONE flavour, in the order the staged
+// path would have made them for that line. The fusion earns its keep by
+// keeping the just-produced subband line in cache for the magnitude (forward)
+// or by never spilling the selected line before synthesis (inverse) — it
+// never reorders arithmetic. The autovec instantiations delegate to the
+// certified loops in kernels_autovec.cpp; the dispatch loops themselves live
+// here for the same reason the autovec _ml wrappers do.
+
+namespace {
+
+// Scratch for the fused select+synthesize kernel: the selected lo/hi halves
+// of one line plus its interleaved periodic extension. Separate from
+// g_phase_scratch, which the simd synthesis primitive consumes underneath.
+thread_local std::vector<float> g_fused_scratch;
+
+using AnalyzeFn = void (*)(const float*, int, const float*, const float*, int,
+                           float*, float*);
+using MagFn = void (*)(const float*, const float*, int, float*);
+using HalfSelectFn = void (*)(const float*, const float*, const float*,
+                              const float*, int, float*);
+using IleaveFn = void (*)(const float*, int, const float*, const float*, int,
+                          float*);
+
+template <AnalyzeFn kAnalyze, MagFn kMag>
+void analyze_mag_ml_impl(const float* x_re, const float* x_im, int x_stride,
+                         int nlines, int out_len, const float* lp_re,
+                         const float* hp_re, const float* lp_im,
+                         const float* hp_im, int taps, float* lo_re,
+                         float* hi_re, float* lo_im, float* hi_im,
+                         float* mag_lo, float* mag_hi, int out_stride) {
+  for (int l = 0; l < nlines; ++l) {
+    const int o = l * out_stride;
+    kAnalyze(x_re + l * x_stride, out_len, lp_re, hp_re, taps, lo_re + o,
+             hi_re + o);
+    kAnalyze(x_im + l * x_stride, out_len, lp_im, hp_im, taps, lo_im + o,
+             hi_im + o);
+    if (mag_lo != nullptr) kMag(lo_re + o, lo_im + o, out_len, mag_lo + o);
+    if (mag_hi != nullptr) kMag(hi_re + o, hi_im + o, out_len, mag_hi + o);
+  }
+}
+
+template <HalfSelectFn kSelect, IleaveFn kIleave>
+void select_synth_ml_impl(const float* lo_a, const float* lo_b,
+                          const float* mlo_a, const float* mlo_b,
+                          const float* hi_a, const float* hi_b,
+                          const float* mhi_a, const float* mhi_b, int in_stride,
+                          int nlines, int pairs, const float* ca,
+                          const float* cb, int taps, int synth_offset,
+                          float* out, int out_stride) {
+  const int n = 2 * pairs;
+  if (n <= 0) return;
+  const int ext_len = n + taps;
+  if (static_cast<int>(g_fused_scratch.size()) < 2 * n + ext_len) {
+    g_fused_scratch.resize(2 * n + ext_len);
+  }
+  float* sel_lo = g_fused_scratch.data();
+  float* sel_hi = sel_lo + pairs;
+  float* z = sel_hi + pairs;  // the interleaved lo/hi stream, pre-rotation
+  float* ext = z + n;
+  // fill_synthesis_ext's wrap counter (dwt_fusion.cpp): ext[k] is sample
+  // (k - synth_offset) mod n of the interleaved lo/hi stream. Materializing
+  // the stream once and rotating it with memcpy is pure data movement — the
+  // same bytes land in ext as the per-sample wrap walk would place.
+  const int start = ((-synth_offset) % n + n) % n;
+  for (int l = 0; l < nlines; ++l) {
+    const float* lo = lo_a + l * in_stride;
+    if (lo_b != nullptr) {
+      kSelect(lo, lo_b + l * in_stride, mlo_a + l * in_stride,
+              mlo_b + l * in_stride, pairs, sel_lo);
+      lo = sel_lo;
+    }
+    const float* hi = hi_a + l * in_stride;
+    if (hi_b != nullptr) {
+      kSelect(hi, hi_b + l * in_stride, mhi_a + l * in_stride,
+              mhi_b + l * in_stride, pairs, sel_hi);
+      hi = sel_hi;
+    }
+    for (int i = 0; i < pairs; ++i) {
+      z[2 * i] = lo[i];
+      z[2 * i + 1] = hi[i];
+    }
+    int k = n - start;
+    std::memcpy(ext, z + start, static_cast<size_t>(k) * sizeof(float));
+    while (k < ext_len) {
+      const int chunk = std::min(n, ext_len - k);
+      std::memcpy(ext + k, z, static_cast<size_t>(chunk) * sizeof(float));
+      k += chunk;
+    }
+    kIleave(ext, pairs, ca, cb, taps, out + l * out_stride);
+  }
+}
+
+}  // namespace
+
+void analyze_mag_ml_scalar(const float* x_re, const float* x_im, int x_stride,
+                           int nlines, int out_len, const float* lp_re,
+                           const float* hp_re, const float* lp_im,
+                           const float* hp_im, int taps, float* lo_re,
+                           float* hi_re, float* lo_im, float* hi_im,
+                           float* mag_lo, float* mag_hi, int out_stride) {
+  analyze_mag_ml_impl<dual_corr_decimate2_scalar, complex_magnitude_scalar>(
+      x_re, x_im, x_stride, nlines, out_len, lp_re, hp_re, lp_im, hp_im, taps,
+      lo_re, hi_re, lo_im, hi_im, mag_lo, mag_hi, out_stride);
+}
+
+void analyze_mag_ml_simd(const float* x_re, const float* x_im, int x_stride,
+                         int nlines, int out_len, const float* lp_re,
+                         const float* hp_re, const float* lp_im,
+                         const float* hp_im, int taps, float* lo_re,
+                         float* hi_re, float* lo_im, float* hi_im,
+                         float* mag_lo, float* mag_hi, int out_stride) {
+  analyze_mag_ml_impl<dual_corr_decimate2_simd, complex_magnitude_simd>(
+      x_re, x_im, x_stride, nlines, out_len, lp_re, hp_re, lp_im, hp_im, taps,
+      lo_re, hi_re, lo_im, hi_im, mag_lo, mag_hi, out_stride);
+}
+
+void analyze_mag_ml_autovec(const float* x_re, const float* x_im, int x_stride,
+                            int nlines, int out_len, const float* lp_re,
+                            const float* hp_re, const float* lp_im,
+                            const float* hp_im, int taps, float* lo_re,
+                            float* hi_re, float* lo_im, float* hi_im,
+                            float* mag_lo, float* mag_hi, int out_stride) {
+  analyze_mag_ml_impl<dual_corr_decimate2_autovec, complex_magnitude_autovec>(
+      x_re, x_im, x_stride, nlines, out_len, lp_re, hp_re, lp_im, hp_im, taps,
+      lo_re, hi_re, lo_im, hi_im, mag_lo, mag_hi, out_stride);
+}
+
+void select_synth_ml_scalar(const float* lo_a, const float* lo_b,
+                            const float* mlo_a, const float* mlo_b,
+                            const float* hi_a, const float* hi_b,
+                            const float* mhi_a, const float* mhi_b,
+                            int in_stride, int nlines, int pairs,
+                            const float* ca, const float* cb, int taps,
+                            int synth_offset, float* out, int out_stride) {
+  select_synth_ml_impl<select_half_scalar, dual_corr_decimate2_ileave_scalar>(
+      lo_a, lo_b, mlo_a, mlo_b, hi_a, hi_b, mhi_a, mhi_b, in_stride, nlines,
+      pairs, ca, cb, taps, synth_offset, out, out_stride);
+}
+
+void select_synth_ml_simd(const float* lo_a, const float* lo_b,
+                          const float* mlo_a, const float* mlo_b,
+                          const float* hi_a, const float* hi_b,
+                          const float* mhi_a, const float* mhi_b,
+                          int in_stride, int nlines, int pairs, const float* ca,
+                          const float* cb, int taps, int synth_offset,
+                          float* out, int out_stride) {
+  select_synth_ml_impl<select_half_simd, dual_corr_decimate2_ileave_simd>(
+      lo_a, lo_b, mlo_a, mlo_b, hi_a, hi_b, mhi_a, mhi_b, in_stride, nlines,
+      pairs, ca, cb, taps, synth_offset, out, out_stride);
+}
+
+void select_synth_ml_autovec(const float* lo_a, const float* lo_b,
+                             const float* mlo_a, const float* mlo_b,
+                             const float* hi_a, const float* hi_b,
+                             const float* mhi_a, const float* mhi_b,
+                             int in_stride, int nlines, int pairs,
+                             const float* ca, const float* cb, int taps,
+                             int synth_offset, float* out, int out_stride) {
+  select_synth_ml_impl<select_half_autovec, dual_corr_decimate2_ileave_autovec>(
+      lo_a, lo_b, mlo_a, mlo_b, hi_a, hi_b, mhi_a, mhi_b, in_stride, nlines,
+      pairs, ca, cb, taps, synth_offset, out, out_stride);
 }
 
 // --- transpose --------------------------------------------------------------

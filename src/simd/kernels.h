@@ -135,6 +135,77 @@ void select_by_magnitude_ml_autovec(const float* a_re, const float* a_im,
                                     int nlines, int len, int in_stride,
                                     float* out_re, float* out_im, int out_stride);
 
+// --- fused cross-stage kernels (band-streaming execution plan) ---------------
+//
+// The fused host plan (src/fusion/fused_plan.cpp) collapses the forward
+// column pass + magnitude, and the select rule + inverse synthesis, into one
+// walk over each band block while it is still hot in cache. Per line these
+// kernels delegate to the SAME single-line flavour primitives above — that is
+// the contract, not an implementation shortcut: it pins the arithmetic order
+// so the fused plan is bit-identical to the staged path in every flavour.
+//
+//   select_half:     out[i] = mag_a[i] >= mag_b[i] ? a[i] : b[i]
+//     (one component of select_by_magnitude — pure data movement, used when
+//      the fused plan selects the lo and hi streams of a synthesis line
+//      independently)
+//   analyze_mag_ml:  per line l: analyze the re-tree line with (lp_re, hp_re)
+//     and the im-tree line with (lp_im, hp_im) — both lines pre-extended, same
+//     stride — then, when mag_lo/mag_hi are non-null, complex_magnitude over
+//     the freshly produced (lo_re, lo_im) / (hi_re, hi_im) pairs.
+//   select_synth_ml: per line l: when the *_b inputs are non-null, half-select
+//     the lo (and independently the hi) stream by magnitude; build the
+//     periodic interleaved extension (the wrap fill of dwt_fusion.cpp's
+//     synthesis path, offset = synth_offset); then one dual_corr ileave pass.
+//     Null *_b means the stream is already fused — taken verbatim.
+
+void select_half_scalar(const float* a, const float* b, const float* mag_a,
+                        const float* mag_b, int n, float* out);
+void select_half_simd(const float* a, const float* b, const float* mag_a,
+                      const float* mag_b, int n, float* out);
+void select_half_autovec(const float* a, const float* b, const float* mag_a,
+                         const float* mag_b, int n, float* out);
+
+void analyze_mag_ml_scalar(const float* x_re, const float* x_im, int x_stride,
+                           int nlines, int out_len, const float* lp_re,
+                           const float* hp_re, const float* lp_im,
+                           const float* hp_im, int taps, float* lo_re,
+                           float* hi_re, float* lo_im, float* hi_im,
+                           float* mag_lo, float* mag_hi, int out_stride);
+void analyze_mag_ml_simd(const float* x_re, const float* x_im, int x_stride,
+                         int nlines, int out_len, const float* lp_re,
+                         const float* hp_re, const float* lp_im,
+                         const float* hp_im, int taps, float* lo_re,
+                         float* hi_re, float* lo_im, float* hi_im,
+                         float* mag_lo, float* mag_hi, int out_stride);
+void analyze_mag_ml_autovec(const float* x_re, const float* x_im, int x_stride,
+                            int nlines, int out_len, const float* lp_re,
+                            const float* hp_re, const float* lp_im,
+                            const float* hp_im, int taps, float* lo_re,
+                            float* hi_re, float* lo_im, float* hi_im,
+                            float* mag_lo, float* mag_hi, int out_stride);
+
+void select_synth_ml_scalar(const float* lo_a, const float* lo_b,
+                            const float* mlo_a, const float* mlo_b,
+                            const float* hi_a, const float* hi_b,
+                            const float* mhi_a, const float* mhi_b,
+                            int in_stride, int nlines, int pairs,
+                            const float* ca, const float* cb, int taps,
+                            int synth_offset, float* out, int out_stride);
+void select_synth_ml_simd(const float* lo_a, const float* lo_b,
+                          const float* mlo_a, const float* mlo_b,
+                          const float* hi_a, const float* hi_b,
+                          const float* mhi_a, const float* mhi_b,
+                          int in_stride, int nlines, int pairs,
+                          const float* ca, const float* cb, int taps,
+                          int synth_offset, float* out, int out_stride);
+void select_synth_ml_autovec(const float* lo_a, const float* lo_b,
+                             const float* mlo_a, const float* mlo_b,
+                             const float* hi_a, const float* hi_b,
+                             const float* mhi_a, const float* mhi_b,
+                             int in_stride, int nlines, int pairs,
+                             const float* ca, const float* cb, int taps,
+                             int synth_offset, float* out, int out_stride);
+
 // --- cache-blocked transpose -------------------------------------------------
 //
 // dst (cols x rows, row stride dst_stride) = transpose of src (rows x cols,

@@ -78,6 +78,19 @@ void select_by_magnitude_autovec(const float* a_re, const float* a_im,
   }
 }
 
+void select_half_autovec(const float* a, const float* b, const float* mag_a,
+                         const float* mag_b, int n, float* out) {
+  // Single-plane form of the select above, used by the fused select+synth
+  // kernel: same unconditional-load + ternary shape so the vectorizer keeps
+  // lowering it to compare + blend (tests/check_autovec.cmake counts this
+  // loop — the fused plan must not silently lose its vectorized select).
+  for (int i = 0; i < n; ++i) {
+    const float av = a[i];
+    const float bv = b[i];
+    out[i] = mag_a[i] >= mag_b[i] ? av : bv;
+  }
+}
+
 void average_autovec(const float* a, const float* b, int n, float* out) {
   for (int i = 0; i < n; ++i) out[i] = 0.5f * (a[i] + b[i]);
 }

@@ -216,53 +216,109 @@ TEST(HostParallelIdentity, PipelinedRunInvariantAcrossThreads) {
 // --- bit-identity across host memory layouts ---------------------------------
 
 struct LayoutRestore {
-  ~LayoutRestore() { dwt::set_host_layout(dwt::HostLayout::kTiled); }
+  ~LayoutRestore() { dwt::set_host_layout(dwt::HostLayout::kFused); }
 };
 
-// The tiled path (blocked transpose + multi-line kernels) is a pure layout
-// change: per-line arithmetic order is pinned by the _ml contract, so fused
-// bits must match the naive per-line path exactly — at sizes that are all
-// tile tail (1xN), straddle the 8x8 tile edge (9x7, 33x25), and at the
-// paper's largest frame, for every pool width.
-TEST(HostLayoutIdentity, TiledMatchesNaiveFusedBits) {
+const dwt::HostLayout kLayouts[] = {dwt::HostLayout::kNaive,
+                                    dwt::HostLayout::kTiled,
+                                    dwt::HostLayout::kFused};
+
+// The tiled and band-streaming-fused paths are pure layout changes: per-line
+// arithmetic order is pinned by the _ml delegation contract, so fused bits
+// must match the naive per-line path exactly — at sizes that are all tile
+// tail (1xN), straddle the 8x8 tile edge (9x7, 33x25), have odd rows at
+// scale (88x71), and at the paper's largest frame, for every pool width.
+TEST(HostLayoutIdentity, AllLayoutsFuseIdenticalBits) {
   LayoutRestore restore;
-  const sched::FrameSize sizes[] = {{9, 7}, {33, 25}, {1, 16}, {16, 1}, {88, 72}};
+  const sched::FrameSize sizes[] = {{9, 7},  {33, 25}, {1, 16},
+                                    {16, 1}, {88, 71}, {88, 72}};
   for (const sched::FrameSize& size : sizes) {
     const auto frames = sched::make_sweep_frames(size, 1);
     for (int n : kThreadWidths) {
-      std::uint64_t hash[2] = {0, 0};
-      for (int layout = 0; layout < 2; ++layout) {
-        dwt::set_host_layout(layout == 0 ? dwt::HostLayout::kNaive
-                                         : dwt::HostLayout::kTiled);
+      std::uint64_t hash[3] = {0, 0, 0};
+      for (int layout = 0; layout < 3; ++layout) {
+        dwt::set_host_layout(kLayouts[layout]);
         dwt::SimdLineFilter filter{HostConfig{n}};
         hash[layout] = hash_image(
             fusion::fuse_frames(frames[0].visible, frames[0].thermal, {}, filter));
+        EXPECT_EQ(hash[layout], hash[0])
+            << size.width << "x" << size.height << " threads=" << n
+            << " layout=" << dwt::host_layout_name(kLayouts[layout]);
       }
-      EXPECT_EQ(hash[0], hash[1])
-          << size.width << "x" << size.height << " threads=" << n;
     }
   }
 }
 
-// Modeled outputs must not notice the layout either: both paths replay the
-// same canonical account_*()/barrier() sequence.
+// MAC statistics across layouts: the fused plan's accounting replay must
+// emit exactly the staged sequence (same line counts, same per-line shapes).
+TEST(HostLayoutIdentity, FilterStatsInvariantAcrossLayouts) {
+  LayoutRestore restore;
+  const auto frames = sched::make_sweep_frames({33, 25}, 1);
+  dwt::FilterStats ref;
+  for (int layout = 0; layout < 3; ++layout) {
+    dwt::set_host_layout(kLayouts[layout]);
+    dwt::ScalarLineFilter filter{HostConfig{2}};
+    (void)fusion::fuse_frames(frames[0].visible, frames[0].thermal, {}, filter);
+    if (layout == 0) {
+      ref = filter.stats();
+      continue;
+    }
+    EXPECT_EQ(filter.stats().analysis_macs, ref.analysis_macs);
+    EXPECT_EQ(filter.stats().synthesis_macs, ref.synthesis_macs);
+    EXPECT_EQ(filter.stats().analysis_lines, ref.analysis_lines);
+    EXPECT_EQ(filter.stats().synthesis_lines, ref.synthesis_lines);
+  }
+}
+
+// Every modeled backend's probe totals must not notice the layout either:
+// all three paths replay the same canonical account_*()/barrier() sequence.
+TEST(HostLayoutIdentity, ModeledProbeInvariantAcrossLayouts) {
+  LayoutRestore restore;
+  const sched::FrameSize size{64, 48};
+  const sched::BackendKind kinds[] = {
+      sched::BackendKind::kArm, sched::BackendKind::kNeon,
+      sched::BackendKind::kFpga, sched::BackendKind::kFpgaBatched,
+      sched::BackendKind::kAdaptive};
+  for (const sched::BackendKind kind : kinds) {
+    sched::ProbeResult res[3];
+    for (int layout = 0; layout < 3; ++layout) {
+      dwt::set_host_layout(kLayouts[layout]);
+      sched::RunConfig run;
+      const auto b = sched::make_backend(kind, run);
+      res[layout] = sched::probe_backend(*b, size, 2);
+      EXPECT_TRUE(res[layout].total == res[0].total)
+          << sched::backend_name(kind) << " layout="
+          << dwt::host_layout_name(kLayouts[layout]);
+      EXPECT_TRUE(res[layout].forward == res[0].forward)
+          << sched::backend_name(kind);
+      EXPECT_TRUE(res[layout].inverse == res[0].inverse)
+          << sched::backend_name(kind);
+      EXPECT_EQ(res[layout].energy_mj, res[0].energy_mj)
+          << sched::backend_name(kind);
+    }
+  }
+}
+
+// The event-queue pipeline schedule too: makespan/ledger/energy must be
+// bit-identical across all three layouts.
 TEST(HostLayoutIdentity, PipelinedRunInvariantAcrossLayouts) {
   LayoutRestore restore;
   const auto stream = sched::make_sweep_frames({33, 25}, 3);
-  sched::PipelineRunResult res[2];
-  for (int layout = 0; layout < 2; ++layout) {
-    dwt::set_host_layout(layout == 0 ? dwt::HostLayout::kNaive
-                                     : dwt::HostLayout::kTiled);
+  sched::PipelineRunResult res[3];
+  for (int layout = 0; layout < 3; ++layout) {
+    dwt::set_host_layout(kLayouts[layout]);
     sched::RunConfig rc;
     sched::BatchedFpgaBackend backend(rc);
     res[layout] = sched::run_pipelined(backend, stream);
+    if (layout == 0) continue;
+    EXPECT_TRUE(res[layout].makespan == res[0].makespan)
+        << dwt::host_layout_name(kLayouts[layout]);
+    EXPECT_TRUE(res[layout].serial_total == res[0].serial_total);
+    EXPECT_TRUE(res[layout].ps_busy == res[0].ps_busy);
+    EXPECT_TRUE(res[layout].pl_busy == res[0].pl_busy);
+    EXPECT_EQ(res[layout].energy_mj, res[0].energy_mj);
+    EXPECT_EQ(res[layout].energy_gated_mj, res[0].energy_gated_mj);
   }
-  EXPECT_TRUE(res[0].makespan == res[1].makespan);
-  EXPECT_TRUE(res[0].serial_total == res[1].serial_total);
-  EXPECT_TRUE(res[0].ps_busy == res[1].ps_busy);
-  EXPECT_TRUE(res[0].pl_busy == res[1].pl_busy);
-  EXPECT_EQ(res[0].energy_mj, res[1].energy_mj);
-  EXPECT_EQ(res[0].energy_gated_mj, res[1].energy_gated_mj);
 }
 
 // --- bit-identity across kernel flavours -------------------------------------

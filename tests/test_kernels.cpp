@@ -7,6 +7,7 @@
 //              into FMA, which changes rounding at most 1 ulp here).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <cstring>
@@ -301,6 +302,197 @@ TEST_P(MultiLineEquivalence, SelectMl) {
       // Selection copies inputs verbatim: bit-exact in every flavour.
       expect_bit_identical(re_ref, re, (std::string("select_ml re ") + flavour).c_str());
       expect_bit_identical(im_ref, im, (std::string("select_ml im ") + flavour).c_str());
+    }
+  }
+}
+
+TEST_P(MultiLineEquivalence, SelectHalf) {
+  const int n = GetParam();
+  const auto a = randv(n, 33), b = randv(n, 34);
+  const auto mag_a = randv(n, 35), mag_b = randv(n, 36);
+  std::vector<float> out_s(n), out_v(n), out_a(n);
+  simd::select_half_scalar(a.data(), b.data(), mag_a.data(), mag_b.data(), n,
+                           out_s.data());
+  simd::select_half_simd(a.data(), b.data(), mag_a.data(), mag_b.data(), n,
+                         out_v.data());
+  simd::select_half_autovec(a.data(), b.data(), mag_a.data(), mag_b.data(), n,
+                            out_a.data());
+  // Selection copies an input verbatim: bit-exact in every flavour, and each
+  // element must agree with the two-plane select on the same comparison.
+  expect_bit_identical(out_s, out_v, "select_half simd");
+  expect_bit_identical(out_s, out_a, "select_half autovec");
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(float_bits(out_s[i]),
+              float_bits(mag_a[i] >= mag_b[i] ? a[i] : b[i]))
+        << i;
+  }
+}
+
+// --- fused cross-stage kernels -----------------------------------------------
+//
+// Same delegation contract as the plain _ml forms: per line, the fused
+// analyze+magnitude and select+synthesize walks must produce the exact bits
+// of the single-line scalar composition (simd 0 ulp, autovec within 1 ulp on
+// the filtering parts, bit-exact on the selection parts).
+
+TEST_P(MultiLineEquivalence, AnalyzeMagMl) {
+  const int out_len = GetParam();
+  for (int nlines : {1, 3, simd::kMaxLinesPerCall}) {
+    const int taps = 14;
+    const int x_stride = 2 * out_len + taps + 2;
+    const auto x_re = randv(nlines * x_stride, 40);
+    const auto x_im = randv(nlines * x_stride, 41);
+    const auto lp_re = randv(taps, 42), hp_re = randv(taps, 43);
+    const auto lp_im = randv(taps, 44), hp_im = randv(taps, 45);
+    const int out_stride = out_len + 1;
+    const int out_total = nlines * out_stride;
+    std::vector<float> lo_re_ref(out_total, 0.0f), hi_re_ref(out_total, 0.0f);
+    std::vector<float> lo_im_ref(out_total, 0.0f), hi_im_ref(out_total, 0.0f);
+    std::vector<float> mag_lo_ref(out_total, 0.0f), mag_hi_ref(out_total, 0.0f);
+    for (int l = 0; l < nlines; ++l) {
+      simd::dual_corr_decimate2_scalar(x_re.data() + l * x_stride, out_len,
+                                       lp_re.data(), hp_re.data(), taps,
+                                       lo_re_ref.data() + l * out_stride,
+                                       hi_re_ref.data() + l * out_stride);
+      simd::dual_corr_decimate2_scalar(x_im.data() + l * x_stride, out_len,
+                                       lp_im.data(), hp_im.data(), taps,
+                                       lo_im_ref.data() + l * out_stride,
+                                       hi_im_ref.data() + l * out_stride);
+      simd::complex_magnitude_scalar(lo_re_ref.data() + l * out_stride,
+                                     lo_im_ref.data() + l * out_stride, out_len,
+                                     mag_lo_ref.data() + l * out_stride);
+      simd::complex_magnitude_scalar(hi_re_ref.data() + l * out_stride,
+                                     hi_im_ref.data() + l * out_stride, out_len,
+                                     mag_hi_ref.data() + l * out_stride);
+    }
+    struct Flavour {
+      const char* name;
+      decltype(&simd::analyze_mag_ml_scalar) fn;
+      bool exact;
+    };
+    const Flavour flavours[] = {
+        {"scalar", simd::analyze_mag_ml_scalar, true},
+        {"simd", simd::analyze_mag_ml_simd, true},
+        {"autovec", simd::analyze_mag_ml_autovec, false},
+    };
+    for (const Flavour& fl : flavours) {
+      std::vector<float> lo_re(out_total, 0.0f), hi_re(out_total, 0.0f);
+      std::vector<float> lo_im(out_total, 0.0f), hi_im(out_total, 0.0f);
+      std::vector<float> mag_lo(out_total, 0.0f), mag_hi(out_total, 0.0f);
+      fl.fn(x_re.data(), x_im.data(), x_stride, nlines, out_len, lp_re.data(),
+            hp_re.data(), lp_im.data(), hp_im.data(), taps, lo_re.data(),
+            hi_re.data(), lo_im.data(), hi_im.data(), mag_lo.data(),
+            mag_hi.data(), out_stride);
+      auto check = [&](const std::vector<float>& ref, const std::vector<float>& got,
+                       const char* what) {
+        const std::string label = std::string("analyze_mag_ml ") + what + " " + fl.name;
+        if (fl.exact) {
+          expect_bit_identical(ref, got, label.c_str());
+        } else {
+          expect_within_1_ulp(ref, got, label.c_str());
+        }
+      };
+      check(lo_re_ref, lo_re, "lo_re");
+      check(hi_re_ref, hi_re, "hi_re");
+      check(lo_im_ref, lo_im, "lo_im");
+      check(hi_im_ref, hi_im, "hi_im");
+      check(mag_lo_ref, mag_lo, "mag_lo");
+      check(mag_hi_ref, mag_hi, "mag_hi");
+      // Null magnitude outputs: the band outputs must be unaffected.
+      std::vector<float> lo_re2(out_total, 0.0f), hi_re2(out_total, 0.0f);
+      std::vector<float> lo_im2(out_total, 0.0f), hi_im2(out_total, 0.0f);
+      fl.fn(x_re.data(), x_im.data(), x_stride, nlines, out_len, lp_re.data(),
+            hp_re.data(), lp_im.data(), hp_im.data(), taps, lo_re2.data(),
+            hi_re2.data(), lo_im2.data(), hi_im2.data(), nullptr, nullptr,
+            out_stride);
+      expect_bit_identical(lo_re, lo_re2, "analyze_mag_ml lo_re null-mag");
+      expect_bit_identical(hi_im, hi_im2, "analyze_mag_ml hi_im null-mag");
+    }
+  }
+}
+
+// Scalar reference for one select+synthesize line: composed from the
+// single-line scalar primitives plus the documented synthesis extension
+// (ext[k] = interleaved lo/hi stream at (k - synth_offset) mod 2*pairs).
+void ref_select_synth_line(const float* lo_a, const float* lo_b,
+                           const float* mlo_a, const float* mlo_b,
+                           const float* hi_a, const float* hi_b,
+                           const float* mhi_a, const float* mhi_b, int pairs,
+                           const float* ca, const float* cb, int taps,
+                           int synth_offset, float* out) {
+  std::vector<float> sel_lo(static_cast<std::size_t>(pairs));
+  std::vector<float> sel_hi(static_cast<std::size_t>(pairs));
+  if (lo_b != nullptr) {
+    simd::select_half_scalar(lo_a, lo_b, mlo_a, mlo_b, pairs, sel_lo.data());
+  } else {
+    std::copy(lo_a, lo_a + pairs, sel_lo.begin());
+  }
+  if (hi_b != nullptr) {
+    simd::select_half_scalar(hi_a, hi_b, mhi_a, mhi_b, pairs, sel_hi.data());
+  } else {
+    std::copy(hi_a, hi_a + pairs, sel_hi.begin());
+  }
+  const int n = 2 * pairs;
+  std::vector<float> ext(static_cast<std::size_t>(n + taps));
+  int src = ((-synth_offset) % n + n) % n;
+  for (int k = 0; k < n + taps; ++k) {
+    ext[static_cast<std::size_t>(k)] =
+        (src & 1) ? sel_hi[static_cast<std::size_t>(src >> 1)]
+                  : sel_lo[static_cast<std::size_t>(src >> 1)];
+    if (++src == n) src = 0;
+  }
+  simd::dual_corr_decimate2_ileave_scalar(ext.data(), pairs, ca, cb, taps, out);
+}
+
+TEST_P(MultiLineEquivalence, SelectSynthMl) {
+  const int pairs = GetParam();
+  for (int nlines : {1, 3, simd::kMaxLinesPerCall}) {
+    for (const bool fuse_select : {true, false}) {
+      const int taps = 16;
+      const int synth_offset = 7;
+      const int in_stride = pairs + 2;
+      const int total = nlines * in_stride;
+      const auto lo_a = randv(total, 50), hi_a = randv(total, 51);
+      const auto lo_b = randv(total, 52), hi_b = randv(total, 53);
+      const auto mlo_a = randv(total, 54), mlo_b = randv(total, 55);
+      const auto mhi_a = randv(total, 56), mhi_b = randv(total, 57);
+      const auto ca = randv(taps, 58), cb = randv(taps, 59);
+      const int out_stride = 2 * pairs + 3;
+      const int out_total = nlines * out_stride;
+      std::vector<float> ref(out_total, 0.0f);
+      for (int l = 0; l < nlines; ++l) {
+        const int o = l * in_stride;
+        ref_select_synth_line(
+            lo_a.data() + o, fuse_select ? lo_b.data() + o : nullptr,
+            mlo_a.data() + o, mlo_b.data() + o, hi_a.data() + o,
+            fuse_select ? hi_b.data() + o : nullptr, mhi_a.data() + o,
+            mhi_b.data() + o, pairs, ca.data(), cb.data(), taps, synth_offset,
+            ref.data() + l * out_stride);
+      }
+      struct Flavour {
+        const char* name;
+        decltype(&simd::select_synth_ml_scalar) fn;
+        bool exact;
+      };
+      const Flavour flavours[] = {
+          {"scalar", simd::select_synth_ml_scalar, true},
+          {"simd", simd::select_synth_ml_simd, true},
+          {"autovec", simd::select_synth_ml_autovec, false},
+      };
+      for (const Flavour& fl : flavours) {
+        std::vector<float> out(out_total, 0.0f);
+        fl.fn(lo_a.data(), fuse_select ? lo_b.data() : nullptr, mlo_a.data(),
+              mlo_b.data(), hi_a.data(), fuse_select ? hi_b.data() : nullptr,
+              mhi_a.data(), mhi_b.data(), in_stride, nlines, pairs, ca.data(),
+              cb.data(), taps, synth_offset, out.data(), out_stride);
+        const std::string label = std::string("select_synth_ml ") + fl.name +
+                                  (fuse_select ? " fused" : " verbatim");
+        if (fl.exact) {
+          expect_bit_identical(ref, out, label.c_str());
+        } else {
+          expect_within_1_ulp(ref, out, label.c_str());
+        }
+      }
     }
   }
 }
